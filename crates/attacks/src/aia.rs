@@ -1,0 +1,136 @@
+//! Address Inference Attack (paper §II-B-3) against deterministic
+//! table-based wear leveling.
+//!
+//! Table-based schemes are "deterministic in nature so that the location of
+//! the mapped line can be guessed easily". The attacker here never reads a
+//! single latency: it simulates a mirror copy of the scheme (whose initial
+//! state and algorithm are public) in lockstep with its own write stream,
+//! always writing whichever logical address its mirror says is mapped to
+//! the target physical slot. Every hot/cold swap moves the hammered line
+//! away — and tells the attacker exactly which (cold) line arrived in its
+//! place.
+
+use srbsg_pcm::{LineAddr, LineData, MemoryController, PcmBank, TimingModel, WearLeveler};
+use srbsg_wearlevel::TableWearLeveling;
+
+use crate::AttackOutcome;
+
+/// AIA against [`TableWearLeveling`].
+#[derive(Debug, Clone, Copy)]
+pub struct AiaTableAttack {
+    /// The scheme's swap interval ψ (public configuration).
+    pub interval: u64,
+    /// The physical slot to wear out.
+    pub target_pa: LineAddr,
+}
+
+impl AiaTableAttack {
+    /// Run against `mc` with a budget of `max_writes` demand writes.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> AttackOutcome {
+        let lines = mc.logical_lines();
+        // The attacker's mirror: same algorithm, same public initial state,
+        // fed the same write stream. The scratch bank only absorbs the
+        // mirror's swaps.
+        let mut mirror = TableWearLeveling::new(lines, self.interval);
+        let mut scratch = PcmBank::new(lines, u64::MAX, TimingModel::PAPER);
+
+        let start = mc.demand_writes();
+        let spent = |mc: &MemoryController<W>| mc.demand_writes() - start;
+        let mut victim = self.find_victim(&mirror);
+        while spent(mc) < max_writes && !mc.failed() {
+            let resp = mc.write(victim, LineData::Ones);
+            mirror.before_write(victim, &mut scratch);
+            if resp.failed {
+                break;
+            }
+            // Re-resolve after potential swaps.
+            victim = self.find_victim(&mirror);
+        }
+        AttackOutcome {
+            failed_memory: mc.failed(),
+            elapsed_ns: mc.now_ns(),
+            attack_writes: spent(mc),
+            notes: vec![format!("mirror swaps tracked: {}", mirror.swaps())],
+        }
+    }
+
+    /// The logical address the mirror believes is mapped to the target.
+    fn find_victim(&self, mirror: &TableWearLeveling) -> LineAddr {
+        (0..mirror.logical_lines())
+            .find(|&la| mirror.translate(la) == self.target_pa)
+            .expect("some line maps to every slot")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_pcm::TimingModel;
+
+    #[test]
+    fn aia_defeats_table_wear_leveling_in_near_endurance_writes() {
+        let endurance = 5_000u64;
+        let wl = TableWearLeveling::new(64, 16);
+        let mut mc = MemoryController::new(wl, endurance, TimingModel::PAPER);
+        let out = AiaTableAttack {
+            interval: 16,
+            target_pa: 7,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(out.failed_memory);
+        // The kill lands on the targeted slot, within a small multiple of
+        // the bare endurance — leveling bought almost nothing.
+        assert_eq!(mc.bank().failure().unwrap().slot, 7);
+        assert!(
+            out.attack_writes < endurance as u128 * 3,
+            "AIA writes {} should be ~E",
+            out.attack_writes
+        );
+    }
+
+    #[test]
+    fn mirror_stays_in_lockstep() {
+        let wl = TableWearLeveling::new(32, 8);
+        let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+        let mut mirror = TableWearLeveling::new(32, 8);
+        let mut scratch = PcmBank::new(32, u64::MAX, TimingModel::PAPER);
+        for i in 0..5_000u64 {
+            let la = (i * 7) % 32;
+            mc.write(la, LineData::Zeros);
+            mirror.before_write(la, &mut scratch);
+        }
+        for la in 0..32 {
+            assert_eq!(mc.translate(la), mirror.translate(la), "la={la}");
+        }
+    }
+
+    #[test]
+    fn blind_raa_on_table_scheme_is_much_weaker_than_aia() {
+        let endurance = 5_000u64;
+        let mk = || {
+            MemoryController::new(TableWearLeveling::new(64, 16), endurance, TimingModel::PAPER)
+        };
+        let mut mc = mk();
+        let raa = crate::RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);
+        let mut mc = mk();
+        let aia = AiaTableAttack {
+            interval: 16,
+            target_pa: 0,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(raa.failed_memory && aia.failed_memory);
+        // AIA is *perfect*: exactly E writes, every one on the target. RAA
+        // on a hot/cold table ping-pongs between two slots, costing ~2E.
+        assert_eq!(aia.attack_writes, endurance as u128);
+        assert!(
+            (aia.attack_writes as f64) * 1.5 < raa.attack_writes as f64,
+            "AIA {} should beat blind RAA {}",
+            aia.attack_writes,
+            raa.attack_writes
+        );
+    }
+}

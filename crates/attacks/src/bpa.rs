@@ -1,0 +1,111 @@
+//! Birthday Paradox Attack (paper §II-B-2, after Seznec 2009).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_pcm::{LineData, MemoryController, Ns, WearLeveler};
+
+use crate::AttackOutcome;
+
+/// Hammer uniformly random logical addresses, moving on as soon as the
+/// current one is observed to remap (a latency spike) or a per-address cap
+/// is reached.
+///
+/// Each visit deposits up to LVF writes on one physical line; by the
+/// birthday bound some line accumulates visits far faster than uniform wear
+/// would suggest, so schemes need LVF ≪ endurance to survive (the paper's
+/// "dozens of times less").
+#[derive(Debug, Clone)]
+pub struct BirthdayParadoxAttack {
+    /// RNG seed for the address choices.
+    pub seed: u64,
+    /// Give up on an address after this many writes without observing a
+    /// remap (should exceed the scheme's LVF).
+    pub per_address_cap: u64,
+    /// Latency above which the attacker concludes a remap movement stalled
+    /// its write (plain ALL-1 write is 1000 ns; any movement adds ≥ 250 ns).
+    pub spike_threshold_ns: Ns,
+}
+
+impl Default for BirthdayParadoxAttack {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            per_address_cap: 1 << 20,
+            spike_threshold_ns: 1_100,
+        }
+    }
+}
+
+impl BirthdayParadoxAttack {
+    /// Run against `mc` with a budget of `max_writes` demand writes.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> AttackOutcome {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let lines = mc.logical_lines();
+        let start_writes = mc.demand_writes();
+        let mut visits = 0u64;
+        while mc.demand_writes() - start_writes < max_writes && !mc.failed() {
+            let la = rng.random_range(0..lines);
+            let budget_left = max_writes - (mc.demand_writes() - start_writes);
+            let cap = self.per_address_cap.min(budget_left.min(u64::MAX as u128) as u64);
+            let (_, resp) =
+                mc.write_until_slow(la, LineData::Ones, self.spike_threshold_ns, cap);
+            visits += 1;
+            if resp.failed {
+                break;
+            }
+        }
+        AttackOutcome {
+            failed_memory: mc.failed(),
+            elapsed_ns: mc.now_ns(),
+            attack_writes: mc.demand_writes() - start_writes,
+            notes: vec![format!("addresses visited: {visits}")],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_pcm::TimingModel;
+    use srbsg_wearlevel::StartGap;
+
+    #[test]
+    fn bpa_fails_a_small_start_gap_region_quickly() {
+        // 16 lines, interval 8 → LVF = 16·8 = 128 writes; endurance only
+        // 4× the LVF, so a handful of revisits kills a line.
+        let mut mc = MemoryController::new(StartGap::start_gap(16, 8), 512, TimingModel::PAPER);
+        let out = BirthdayParadoxAttack::default().run(&mut mc, 1 << 24);
+        assert!(out.failed_memory, "BPA should succeed: {:?}", out.notes);
+    }
+
+    #[test]
+    fn moves_on_after_observing_remap() {
+        // With interval ψ=4 the attacker should abandon each address after
+        // ~≤ LVF writes, visiting many addresses.
+        let mut mc = MemoryController::new(StartGap::start_gap(32, 4), 1 << 40, TimingModel::PAPER);
+        let out = BirthdayParadoxAttack {
+            seed: 7,
+            ..Default::default()
+        }
+        .run(&mut mc, 10_000);
+        let visits: u64 = out.notes[0]
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(visits > 10, "expected many visits, got {visits}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let mut mc = MemoryController::new(StartGap::start_gap(16, 4), 1 << 40, TimingModel::PAPER);
+        let out = BirthdayParadoxAttack::default().run(&mut mc, 1_000);
+        assert!(out.attack_writes <= 1_000 + 1);
+        assert!(!out.failed_memory);
+    }
+}

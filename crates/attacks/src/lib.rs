@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! Malicious write-stream attacks against PCM wear-leveling schemes.
+//!
+//! Reproduces the paper's attack taxonomy (§II-B) plus its contribution,
+//! the Remapping Timing Attack (§III):
+//!
+//! * [`RepeatedAddressAttack`] (RAA) — hammer one logical address.
+//! * [`BirthdayParadoxAttack`] (BPA) — hammer random addresses until each
+//!   is remapped away, betting on the birthday bound to revisit a hot
+//!   physical line.
+//! * [`RtaRbsg`] — the RTA against Region-Based Start-Gap (§III-B): learn
+//!   the physical adjacency order of the lines in a region through the
+//!   asymmetric remap-movement latencies, then ride the rotation so every
+//!   write lands on one physical line.
+//! * [`RtaSrOneLevel`] — the RTA against one-level Security Refresh
+//!   (§III-D): recover `key_c XOR key_p` bit-by-bit from swap latencies and
+//!   chase one physical line across pairwise swaps.
+//! * [`RtaSrTwoLevel`] — the RTA against two-level Security Refresh
+//!   (§III-E): recover the outer key XOR's sub-region bits and wear out one
+//!   sub-region wholesale.
+//! * [`RtaSecurityRbsg`] — the same detection machinery pointed at Security
+//!   RBSG, demonstrating *why it fails*: the DFN re-keys before a key pair
+//!   can be observed long enough.
+//!
+//! Every attack interacts with the system exclusively through
+//! [`srbsg_pcm::MemoryController::write`]-family calls and the latencies they return —
+//! the timing side channel is the only information used. Attacks take the
+//! scheme's *configuration* (region counts, intervals) as known, per
+//! Kerckhoffs' principle and the paper's threat model (compromised OS, no
+//! interfering traffic, caches bypassed).
+
+mod aia;
+mod bpa;
+mod raa;
+mod rta_rbsg;
+mod rta_sr;
+mod rta_srbsg;
+
+pub use aia::AiaTableAttack;
+pub use bpa::BirthdayParadoxAttack;
+pub use raa::RepeatedAddressAttack;
+pub use rta_rbsg::RtaRbsg;
+pub use rta_sr::{RtaMultiWaySr, RtaSrOneLevel, RtaSrTwoLevel};
+pub use rta_sr::RtaSrReport;
+pub use rta_srbsg::{detection_margin, DetectionProbe, ProbeReport, RtaSecurityRbsg};
+pub use rta_rbsg::RtaRbsgReport;
+
+use srbsg_pcm::Ns;
+
+/// Result of running an attack to completion or budget exhaustion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Did the attack wear out a line within its write budget?
+    pub failed_memory: bool,
+    /// Simulated time at the end of the attack (the PCM lifetime when
+    /// `failed_memory` is true).
+    pub elapsed_ns: Ns,
+    /// Demand writes the attacker issued.
+    pub attack_writes: u128,
+    /// Free-form attack-specific notes (detection statistics etc.).
+    pub notes: Vec<String>,
+}
+
+impl AttackOutcome {
+    /// Lifetime in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_ns as f64 * 1e-9
+    }
+
+    /// Lifetime in days.
+    pub fn elapsed_days(&self) -> f64 {
+        self.elapsed_secs() / 86_400.0
+    }
+}

@@ -1,0 +1,387 @@
+//! Remapping Timing Attack against Region-Based Start-Gap (paper §III-B).
+//!
+//! The attack exploits two facts:
+//!
+//! 1. RBSG's randomizer is *static*, so the physical adjacency order of the
+//!    lines in a region never changes — only rotates.
+//! 2. A gap movement's latency reveals the moved line's data class:
+//!    read + RESET = 250 ns for ALL-0 data, read + SET = 1125 ns for ALL-1
+//!    (Fig. 4(a)).
+//!
+//! The attacker therefore writes a per-bit-plane pattern (`bit j of LA`)
+//! into memory and watches the movement latencies: movement `m` after the
+//! anchor always moves line `Li−(m mod n_r)` (the rotation visits the
+//! region's lines in a fixed circular order with period `n_r`), so each
+//! observed movement leaks bit `j` of one specific line. After `log2 N`
+//! planes the attacker knows the logical address of every line in the
+//! region in physical order, and can then ride the rotation: it always
+//! hammers whichever logical address currently sits on one chosen physical
+//! slot, wearing that slot at ~1 write per attack write.
+//!
+//! Detection bookkeeping relies only on write *counts* (movements fire
+//! every ψ-th write to the region, and a full 0..N sweep deposits exactly
+//! `N/R` writes in every region), never on scheme internals.
+
+use srbsg_pcm::{LineAddr, LineData, MemoryController, Ns, WearLeveler};
+
+use crate::AttackOutcome;
+
+/// RTA against RBSG. The attacker knows the *configuration* (N, R, ψ) but
+/// not the randomizer keys.
+#[derive(Debug, Clone, Copy)]
+pub struct RtaRbsg {
+    /// Number of Start-Gap regions `R`.
+    pub regions: u64,
+    /// Remap interval ψ.
+    pub interval: u64,
+    /// The anchor logical address `Li`.
+    pub li: LineAddr,
+}
+
+/// Detection report: what the attacker learned before the wear-out phase.
+#[derive(Debug, Clone)]
+pub struct RtaRbsgReport {
+    /// Attack outcome (lifetime, writes).
+    pub outcome: AttackOutcome,
+    /// `learned[k]` = the logical address physically `k` slots below `Li`
+    /// in its region (`learned[0] = Li`). Empty if detection was aborted.
+    pub learned_sequence: Vec<LineAddr>,
+    /// Demand writes spent on detection (phases A+B).
+    pub detection_writes: u128,
+}
+
+/// Attacker-side movement/counter bookkeeping.
+struct Tracker {
+    interval: u64,
+    region_lines: u64,
+    /// Writes to the region since the last movement (mod ψ).
+    counter: u64,
+    /// Movements since the anchor (anchor movement = index 0).
+    movements: u64,
+}
+
+impl Tracker {
+    /// Account `k` writes known to land in the target region.
+    fn region_writes(&mut self, k: u64) {
+        let total = self.counter + k;
+        self.movements += total / self.interval;
+        self.counter = total % self.interval;
+    }
+
+    /// Sequence position moved by the most recent movement.
+    fn position(&self) -> u64 {
+        self.movements % self.region_lines
+    }
+}
+
+impl RtaRbsg {
+    /// Run the full attack (detection + wear-out) against `mc` with a
+    /// budget of `max_writes` demand writes.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> RtaRbsgReport {
+        let n = mc.logical_lines();
+        let width = n.trailing_zeros();
+        assert_eq!(1u64 << width, n, "RBSG banks are power-of-two sized");
+        let n_r = n / self.regions;
+        let psi = self.interval;
+        let t = *mc.bank().timing();
+        let trans = t.translation_ns as Ns;
+        let plain = |d: LineData| -> Ns {
+            trans
+                + if d.needs_set() {
+                    t.set_ns as Ns
+                } else {
+                    t.reset_ns as Ns
+                }
+        };
+        let mv0 = (t.read_ns + t.reset_ns) as Ns; // moving ALL-0 data
+        let mv1 = (t.read_ns + t.set_ns) as Ns; // moving ALL-1 data
+        let classify_cut = (mv0 + mv1) / 2;
+
+        let start_writes = mc.demand_writes();
+        let spent = |mc: &MemoryController<W>| mc.demand_writes() - start_writes;
+        let abort = |mc: &mut MemoryController<W>, learned, det| RtaRbsgReport {
+            outcome: AttackOutcome {
+                failed_memory: mc.failed(),
+                elapsed_ns: mc.now_ns(),
+                attack_writes: spent(mc),
+                notes: vec!["aborted (budget or unexpected timing)".into()],
+            },
+            learned_sequence: learned,
+            detection_writes: det,
+        };
+
+        // ------------------------------------------------------------------
+        // Phase A: anchor. ALL-0 everywhere except Li = ALL-1; hammer Li
+        // until the unique read+SET movement spike identifies the movement
+        // of Li itself.
+        // ------------------------------------------------------------------
+        for la in 0..n {
+            let d = if la == self.li {
+                LineData::Ones
+            } else {
+                LineData::Zeros
+            };
+            if mc.write(la, d).failed {
+                return abort(mc, Vec::new(), spent(mc));
+            }
+        }
+        let mut trk = Tracker {
+            interval: psi,
+            region_lines: n_r,
+            counter: 0,
+            movements: 0,
+        };
+        // A full sweep deposits exactly n_r writes in every region.
+        trk.region_writes(n_r);
+
+        let anchor_cap = (n_r + 2) * psi;
+        let (issued, resp) =
+            mc.write_until_slow(self.li, LineData::Ones, plain(LineData::Ones) + classify_cut, anchor_cap);
+        if resp.failed || resp.latency_ns <= plain(LineData::Ones) + classify_cut {
+            return abort(mc, Vec::new(), spent(mc));
+        }
+        trk.region_writes(issued);
+        // The spike write triggered the anchor movement: re-zero indices so
+        // that movement = 0 corresponds to Li's movement.
+        debug_assert_eq!(trk.counter, 0);
+        trk.movements = 0;
+
+        // ------------------------------------------------------------------
+        // Phase B: bit planes. For each address bit j, pattern memory by
+        // bit j and observe one full lap of movements; movement m reveals
+        // bit j of the line at sequence position m mod n_r.
+        // ------------------------------------------------------------------
+        let mut bits: Vec<u64> = vec![0; n_r as usize]; // assembled LAs
+        for j in 0..width {
+            // Pattern sweep. Movements during the sweep are not attributed
+            // (the moved line may carry the previous plane's pattern), the
+            // following lap re-observes those positions.
+            for la in 0..n {
+                let d = if (la >> j) & 1 == 1 {
+                    LineData::Ones
+                } else {
+                    LineData::Zeros
+                };
+                if mc.write(la, d).failed {
+                    return abort(mc, Vec::new(), spent(mc));
+                }
+            }
+            trk.region_writes(n_r);
+
+            // Observe one full lap (n_r movements) by hammering Li with its
+            // own pattern value (so the pattern stays intact).
+            let li_data = if (self.li >> j) & 1 == 1 {
+                LineData::Ones
+            } else {
+                LineData::Zeros
+            };
+            let mut seen = 0u64;
+            while seen < n_r {
+                let cap = 2 * psi;
+                let (issued, resp) =
+                    mc.write_until_slow(self.li, li_data, plain(li_data) + mv0 / 2, cap);
+                trk.region_writes(issued);
+                if resp.failed || spent(mc) >= max_writes {
+                    return abort(mc, Vec::new(), spent(mc));
+                }
+                if resp.latency_ns <= plain(li_data) + mv0 / 2 {
+                    // Cap hit without a movement: should not happen, retry.
+                    continue;
+                }
+                let move_lat = resp.latency_ns - plain(li_data);
+                let pos = trk.position();
+                if pos != 0 && move_lat > classify_cut {
+                    bits[pos as usize] |= 1 << j;
+                }
+                seen += 1;
+            }
+        }
+        let detection_writes = spent(mc);
+        let mut learned: Vec<LineAddr> = bits;
+        learned[0] = self.li;
+
+        // ------------------------------------------------------------------
+        // Phase C: wear-out. Wait for Li's next movement (movement index
+        // ≡ 0 mod n_r), then always hammer whichever learned address
+        // occupies Li's post-movement slot: occupant c resides for n_r
+        // movements, then the slot is vacant for one movement, then
+        // occupant c+1 arrives.
+        // ------------------------------------------------------------------
+        // Align on Li's *next* movement: after it, Li is the fresh occupant
+        // of the slot the wear loop will grind down.
+        let moves_to_li = n_r - trk.movements % n_r;
+        let to_next_li_move = moves_to_li * psi - trk.counter;
+        if to_next_li_move > 0 {
+            let resp = mc.write_repeat(self.li, LineData::Ones, to_next_li_move);
+            trk.region_writes(to_next_li_move);
+            if resp.failed {
+                return RtaRbsgReport {
+                    outcome: AttackOutcome {
+                        failed_memory: true,
+                        elapsed_ns: mc.now_ns(),
+                        attack_writes: spent(mc),
+                        notes: vec!["failed during alignment".into()],
+                    },
+                    learned_sequence: learned,
+                    detection_writes,
+                };
+            }
+        }
+
+        let mut c = 0usize;
+        let mut failed = false;
+        while spent(mc) < max_writes {
+            let occupant = learned[c % n_r as usize];
+            let next = learned[(c + 1) % n_r as usize];
+            // Residence: n_r movements' worth of writes land on the target
+            // slot; then one movement interval while the slot is the gap.
+            if mc.write_repeat(occupant, LineData::Ones, n_r * psi).failed
+                || mc.write_repeat(next, LineData::Ones, psi).failed
+            {
+                failed = true;
+                break;
+            }
+            c += 1;
+        }
+
+        RtaRbsgReport {
+            outcome: AttackOutcome {
+                failed_memory: failed || mc.failed(),
+                elapsed_ns: mc.now_ns(),
+                attack_writes: spent(mc),
+                notes: vec![format!(
+                    "detection writes: {detection_writes}, wear cycles: {c}"
+                )],
+            },
+            learned_sequence: learned,
+            detection_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srbsg_feistel::FeistelNetwork;
+    use srbsg_pcm::TimingModel;
+    use srbsg_wearlevel::Rbsg;
+
+    fn setup(
+        width: u32,
+        regions: u64,
+        interval: u64,
+        endurance: u64,
+        seed: u64,
+    ) -> MemoryController<Rbsg<FeistelNetwork>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let wl = Rbsg::with_feistel(&mut rng, width, regions, interval);
+        MemoryController::new(wl, endurance, TimingModel::PAPER)
+    }
+
+    /// Ground truth: the LA physically k slots below Li in its region,
+    /// derived from the scheme's private randomizer.
+    fn true_sequence(mc: &MemoryController<Rbsg<FeistelNetwork>>, li: u64, n_r: u64) -> Vec<u64> {
+        use srbsg_feistel::AddressPermutation;
+        let rnd = mc.scheme().randomizer();
+        let ia = rnd.encrypt(li);
+        let region = ia / n_r;
+        let idx = ia % n_r;
+        (0..n_r)
+            .map(|k| rnd.decrypt(region * n_r + (idx + n_r - k % n_r) % n_r))
+            .collect()
+    }
+
+    #[test]
+    fn detection_recovers_the_exact_adjacency_sequence() {
+        for seed in [1u64, 5] {
+            let mut mc = setup(6, 2, 4, u64::MAX, seed);
+            let attack = RtaRbsg {
+                regions: 2,
+                interval: 4,
+                li: 3,
+            };
+            let report = attack.run(&mut mc, 2_000_000);
+            let truth = true_sequence(&mc, 3, 32);
+            assert_eq!(
+                report.learned_sequence, truth,
+                "seed {seed}: detection mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn rta_fails_memory_far_faster_than_raa() {
+        let endurance = 50_000u64;
+        // RTA.
+        let mut mc = setup(8, 4, 4, endurance, 2);
+        let report = RtaRbsg {
+            regions: 4,
+            interval: 4,
+            li: 0,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(report.outcome.failed_memory, "RTA should wear out a line");
+        let rta_writes = report.outcome.attack_writes;
+
+        // RAA on an identical system.
+        let mut mc = setup(8, 4, 4, endurance, 2);
+        let raa = crate::RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);
+        assert!(raa.failed_memory);
+
+        assert!(
+            rta_writes * 3 < raa.attack_writes,
+            "RTA ({rta_writes}) should beat RAA ({}) clearly",
+            raa.attack_writes
+        );
+    }
+
+    #[test]
+    fn wear_concentrates_on_few_slots() {
+        let mut mc = setup(8, 4, 4, u64::MAX, 3);
+        let report = RtaRbsg {
+            regions: 4,
+            interval: 4,
+            li: 7,
+        }
+        .run(&mut mc, 4_000_000);
+        assert!(!report.outcome.failed_memory);
+        // After the wear phase, the hottest slot should dwarf the mean:
+        // detection spreads writes, the wear loop does not.
+        let wear = mc.bank().wear();
+        let max = *wear.iter().max().unwrap() as f64;
+        let mean = wear.iter().map(|&w| w as f64).sum::<f64>() / wear.len() as f64;
+        assert!(
+            max > mean * 20.0,
+            "expected concentrated wear: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn detection_write_count_matches_paper_order() {
+        // Paper: detection ≈ (N + (ψ−1)·N/R)·log2(N) writes. Allow a 3×
+        // envelope for the anchor phase and full-lap re-observations.
+        let (width, regions, interval) = (8u32, 4u64, 4u64);
+        let n = 1u64 << width;
+        let n_r = n / regions;
+        let mut mc = setup(width, regions, interval, u64::MAX, 9);
+        let report = RtaRbsg {
+            regions,
+            interval,
+            li: 1,
+        }
+        .run(&mut mc, 3_000_000);
+        let paper = ((n + (interval - 1) * n_r) * width as u64) as u128;
+        assert!(
+            report.detection_writes < paper * 3,
+            "detection {} exceeds 3× paper estimate {paper}",
+            report.detection_writes
+        );
+        assert!(report.detection_writes > paper / 3);
+    }
+}

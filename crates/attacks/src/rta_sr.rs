@@ -1,0 +1,655 @@
+//! Remapping Timing Attacks against Security Refresh (paper §III-D/E).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_pcm::{LineData, MemoryController, Ns, WearLeveler};
+use srbsg_wearlevel::TwoLevelSr;
+
+use crate::AttackOutcome;
+
+/// RTA against one-level Security Refresh (§III-D) — fully black-box.
+///
+/// The attacker recovers `key_c XOR key_p` of the target region bit by bit
+/// from swap latencies: a refresh swap exchanges lines `l` and
+/// `l XOR key_c XOR key_p`, so with memory patterned by bit `j` of the
+/// logical address, a 500 ns or 2250 ns swap (equal data) means bit `j` of
+/// the key XOR is 0 and a 1375 ns swap (differing data) means 1 (Fig. 4(b)).
+/// Knowing the XOR, the attacker tracks which logical address occupies one
+/// chosen physical slot across rounds — the occupant flips to its pair
+/// exactly once per round, at a refresh-pointer position the attacker can
+/// compute — and keeps every hammer write landing on that slot.
+///
+/// Scheduling uses only write counts: one refresh step fires per ψ writes
+/// to the region, and the initial anchor (the unique expensive swap of the
+/// ALL-1-marked line 0 at round start) synchronizes the count.
+#[derive(Debug, Clone, Copy)]
+pub struct RtaSrOneLevel {
+    /// Region size (lines) — the attacker targets region 0, logical
+    /// addresses `0..region_lines`.
+    pub region_lines: u64,
+    /// Refresh interval ψ.
+    pub interval: u64,
+}
+
+/// Attacker-side refresh-pointer bookkeeping for one SR region.
+struct SrTracker {
+    interval: u64,
+    region_lines: u64,
+    counter: u64,
+    /// Total refresh steps since the anchor (crp = steps mod region_lines,
+    /// offset by the anchor position).
+    steps: u64,
+}
+
+impl SrTracker {
+    fn region_writes(&mut self, k: u64) {
+        let total = self.counter + k;
+        self.steps += total / self.interval;
+        self.counter = total % self.interval;
+    }
+
+    /// Current refresh pointer (the anchor left it at 1).
+    fn crp(&self) -> u64 {
+        (self.steps + 1) % self.region_lines
+    }
+
+    /// Writes needed so the refresh pointer has *passed* `target`
+    /// (crp == target + 1), assuming crp ≤ target now.
+    fn writes_until_past(&self, target: u64) -> u64 {
+        let steps_needed = target + 1 - self.crp();
+        steps_needed * self.interval - self.counter
+    }
+}
+
+/// Detection + wear report for the one-level SR attack.
+#[derive(Debug, Clone)]
+pub struct RtaSrReport {
+    /// Attack outcome.
+    pub outcome: AttackOutcome,
+    /// Key XORs recovered, one per completed detection (per round).
+    pub recovered_xors: Vec<u64>,
+    /// Demand writes spent before the first full key XOR was known.
+    pub first_detection_writes: u128,
+}
+
+impl RtaSrOneLevel {
+    /// Run against `mc` with a budget of `max_writes` demand writes.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> RtaSrReport {
+        let n_r = self.region_lines;
+        let bits = n_r.trailing_zeros();
+        assert_eq!(1u64 << bits, n_r);
+        let psi = self.interval;
+        let t = *mc.bank().timing();
+        let trans = t.translation_ns as Ns;
+        let plain = |d: LineData| -> Ns {
+            trans
+                + if d.needs_set() {
+                    t.set_ns as Ns
+                } else {
+                    t.reset_ns as Ns
+                }
+        };
+        let rd = t.read_ns as Ns;
+        let w0 = t.reset_ns as Ns;
+        let w1 = t.set_ns as Ns;
+        let swap00 = 2 * rd + 2 * w0; // 500 ns
+        let swap01 = 2 * rd + w0 + w1; // 1375 ns
+        let swap11 = 2 * rd + 2 * w1; // 2250 ns
+
+        let start_writes = mc.demand_writes();
+        let spent = |mc: &MemoryController<W>| mc.demand_writes() - start_writes;
+        let mut recovered = Vec::new();
+        let mut first_detection_writes = 0u128;
+
+        let finish = |mc: &mut MemoryController<W>, recovered: Vec<u64>, fdw, note: &str| {
+            RtaSrReport {
+                outcome: AttackOutcome {
+                    failed_memory: mc.failed(),
+                    elapsed_ns: mc.now_ns(),
+                    attack_writes: spent(mc),
+                    notes: vec![note.to_string()],
+                },
+                recovered_xors: recovered,
+                first_detection_writes: fdw,
+            }
+        };
+
+        // ---------------- Phase A: anchor on line 0's round-start swap ----
+        for la in 0..n_r {
+            let d = if la == 0 { LineData::Ones } else { LineData::Zeros };
+            if mc.write(la, d).failed {
+                return finish(mc, recovered, 0, "failed during init sweep");
+            }
+        }
+        // Line 0's swap (ALL-1 against ALL-0) is the unique 1375 ns swap.
+        let anchor_threshold = plain(LineData::Ones) + (swap00 + swap01) / 2;
+        let mut anchored = false;
+        for _ in 0..4 {
+            let cap = (n_r + 2) * psi;
+            let (_, resp) = mc.write_until_slow(0, LineData::Ones, anchor_threshold, cap);
+            if resp.failed {
+                return finish(mc, recovered, 0, "failed during anchor");
+            }
+            if resp.latency_ns > anchor_threshold {
+                anchored = true;
+                break;
+            }
+            // key_c may equal key_p this round (line 0's step was a skip);
+            // the next round draws fresh keys.
+        }
+        if !anchored {
+            return finish(mc, recovered, 0, "anchor not observed");
+        }
+        let mut trk = SrTracker {
+            interval: psi,
+            region_lines: n_r,
+            counter: 0,
+            steps: 0,
+        };
+
+        // The physical slot of line 0 right after its swap is the wear
+        // target P for the rest of the attack. `occ` is the logical
+        // address currently mapped to P. The anchor swap itself was this
+        // round's occupant flip (line 0 moved *onto* P), so no further
+        // flip is due until the next round.
+        let mut occ: u64 = 0;
+        let mut already_flipped = true;
+
+        // ---------------- Per-round loop: detect XOR, then grind P -------
+        while spent(mc) < max_writes && !mc.failed() {
+            // Steps at which the current round's last refresh completes
+            // (crp == 0 means a round boundary: the new round ends n_r
+            // steps out).
+            let crp_now = trk.crp();
+            let round_end_steps = trk.steps + if crp_now == 0 { n_r } else { n_r - crp_now };
+
+            // Detect this round's key XOR bit by bit. Refresh steps
+            // swap/skip in *runs*: step `l` swaps iff `l < l^xor`, which is
+            // constant over stretches of 2^b steps (b = top set bit of the
+            // XOR). Waiting for one swap per bit plane would burn up to a
+            // run per plane, so the attacker batches instead: it hammers
+            // `occ` (wear on target!) until swaps start flowing, then
+            // alternates pattern sweeps with single-step observations while
+            // the run lasts. The paper's §III-D "worst case another N/2
+            // writes" underestimates this wait by up to ψ×, but the attack
+            // goes through regardless.
+            let mut xor_key = 0u64;
+            let mut round_wrapped = false;
+            let mut next_plane: u32 = 0;
+            // Has the current plane's pattern been swept and not yet
+            // consumed by an observation?
+            let mut swept = false;
+            while next_plane < bits {
+                if trk.steps >= round_end_steps {
+                    round_wrapped = true;
+                    break;
+                }
+                if !swept {
+                    // Pattern sweep for bit `next_plane`.
+                    for la in 0..n_r {
+                        let d = if (la >> next_plane) & 1 == 1 {
+                            LineData::Ones
+                        } else {
+                            LineData::Zeros
+                        };
+                        if mc.write(la, d).failed {
+                            return finish(
+                                mc,
+                                recovered,
+                                first_detection_writes,
+                                "failed in sweep",
+                            );
+                        }
+                    }
+                    trk.region_writes(n_r);
+                    swept = true;
+                    continue;
+                }
+                // Observe the next refresh step, hammering `occ` with its
+                // own pattern value so the sweep stays intact.
+                let occ_data = if (occ >> next_plane) & 1 == 1 {
+                    LineData::Ones
+                } else {
+                    LineData::Zeros
+                };
+                let threshold = plain(occ_data) + swap00 / 2;
+                let to_next_step = psi - trk.counter;
+                let (issued, resp) = mc.write_until_slow(occ, occ_data, threshold, to_next_step);
+                trk.region_writes(issued);
+                if resp.failed || spent(mc) >= max_writes {
+                    return finish(
+                        mc,
+                        recovered,
+                        first_detection_writes,
+                        "ended during detection",
+                    );
+                }
+                if resp.latency_ns > threshold {
+                    // A swap: classify bit `next_plane` from its latency.
+                    let swap_lat = resp.latency_ns - plain(occ_data);
+                    if swap_lat >= (swap00 + swap01) / 2 && swap_lat <= (swap01 + swap11) / 2 {
+                        xor_key |= 1 << next_plane;
+                    }
+                    next_plane += 1;
+                    swept = false;
+                }
+                // A skip: keep hammering; the pattern is still in place for
+                // the next step.
+            }
+            round_wrapped |= next_plane < bits;
+            if first_detection_writes == 0 {
+                first_detection_writes = spent(mc);
+            }
+            if !round_wrapped {
+                recovered.push(xor_key);
+                // Occupant bookkeeping: P's occupant flips to its pair when
+                // the refresh pointer passes min(occ, occ^xor). The anchor
+                // round's flip already happened at the anchor itself.
+                let flip_at = occ.min(occ ^ xor_key);
+                if xor_key != 0 && !already_flipped {
+                    if trk.crp() > flip_at {
+                        // Already flipped during detection sweeps.
+                        occ ^= xor_key;
+                    } else {
+                        let k = trk.writes_until_past(flip_at);
+                        let budget =
+                            (max_writes - spent(mc)).min(k as u128) as u64;
+                        if mc.write_repeat(occ, LineData::Ones, budget).failed {
+                            break;
+                        }
+                        trk.region_writes(budget);
+                        if budget < k {
+                            break;
+                        }
+                        occ ^= xor_key;
+                    }
+                }
+            }
+            // Grind P until the round ends.
+            let steps_left = round_end_steps.saturating_sub(trk.steps);
+            let k = steps_left * psi - trk.counter.min(steps_left * psi);
+            if k > 0 {
+                let budget = (max_writes - spent(mc)).min(k as u128) as u64;
+                if mc.write_repeat(occ, LineData::Ones, budget).failed {
+                    break;
+                }
+                trk.region_writes(budget);
+                if budget < k {
+                    break;
+                }
+            }
+            // Round boundary: keys roll but P's occupant is unchanged
+            // (key_p' = key_c); the new round owes a fresh flip.
+            already_flipped = false;
+        }
+
+        finish(mc, recovered, first_detection_writes, "attack loop ended")
+    }
+}
+
+/// RTA against two-level Security Refresh (§III-E) — grey-box.
+///
+/// The timing mechanism for recovering SR key XORs is demonstrated
+/// black-box by [`RtaSrOneLevel`]; for the two-level composition this
+/// attack charges the paper's detection cost in *real writes* (one full
+/// `N`-write pattern sweep per outer-key bit plane, `log2 R` planes per
+/// outer round, plus the swap-observation hammering) and then reads the
+/// outer XOR from the scheme — the same semi-analytic treatment the paper
+/// uses for Fig. 12, where detection cost is described as varying between
+/// `(N/2)·log2 R` and `N·log2 R` writes with the key draw.
+///
+/// Armed with the XOR's sub-region bits, the attacker tracks which aligned
+/// logical block currently maps to the target sub-region (XOR remapping
+/// maps aligned blocks to aligned blocks) and hammers that block's
+/// addresses round-robin, wearing all `N/R` lines of one sub-region toward
+/// failure together.
+#[derive(Debug, Clone, Copy)]
+pub struct RtaSrTwoLevel {
+    /// Number of inner sub-regions `R`.
+    pub sub_regions: u64,
+    /// Outer refresh interval ψ_out.
+    pub outer_interval: u64,
+    /// RNG seed (address-order shuffling within the block).
+    pub seed: u64,
+}
+
+impl RtaSrTwoLevel {
+    /// Run against a concrete two-level SR controller.
+    pub fn run(
+        &self,
+        mc: &mut MemoryController<TwoLevelSr>,
+        max_writes: u128,
+    ) -> AttackOutcome {
+        let n = mc.logical_lines();
+        let r = self.sub_regions;
+        let n_r = n / r;
+        let region_bits = r.trailing_zeros();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let start_writes = mc.demand_writes();
+        let spent = |mc: &MemoryController<TwoLevelSr>| mc.demand_writes() - start_writes;
+
+        // The attacked logical block, identified by its high (sub-region
+        // index) bits. Block 0 to start.
+        let mut block: u64 = 0;
+        let mut rounds = 0u64;
+
+        'outer: while spent(mc) < max_writes && !mc.failed() {
+            // --- Detection phase: one pattern sweep per outer-key bit
+            // plane over the sub-region index bits, plus hammering while
+            // waiting to observe a swap at an outer refresh point.
+            for j in 0..region_bits {
+                for la in 0..n {
+                    let d = if (la >> (n.trailing_zeros() - region_bits + j)) & 1 == 1 {
+                        LineData::Ones
+                    } else {
+                        LineData::Zeros
+                    };
+                    if mc.write(la, d).failed || spent(mc) >= max_writes {
+                        break 'outer;
+                    }
+                }
+                // Swap observation: expected ~2·ψ_out hammer writes.
+                let wait = 2 * self.outer_interval + rng.random_range(0..self.outer_interval);
+                let target = (block << (n.trailing_zeros() - region_bits))
+                    | rng.random_range(0..n_r);
+                if mc.write_repeat(target, LineData::Ones, wait).failed {
+                    break 'outer;
+                }
+            }
+            // Oracle read of the recovered outer XOR (mechanism shown
+            // black-box in RtaSrOneLevel): the high bits say where the
+            // block migrates this round.
+            let outer = mc.scheme().outer();
+            let xor_high = (outer.key_c() ^ outer.key_p()) >> (n.trailing_zeros() - region_bits);
+            let partner = block ^ xor_high;
+
+            // --- Wear phase: hammer the current and partner blocks for
+            // one outer round. Early in the round the block's lines still
+            // map to the target sub-region; as the refresh pointer passes
+            // them they swap over to the partner block's sub-region, so
+            // cycling both blocks keeps every write inside the two regions
+            // being ground down (one of which is the target).
+            let round_writes = n * self.outer_interval;
+            let mut done = 0u64;
+            let shift = n.trailing_zeros() - region_bits;
+            while done < round_writes {
+                for b in [block, partner] {
+                    for idx in 0..n_r {
+                        let la = (b << shift) | idx;
+                        if mc.write(la, LineData::Ones).failed || spent(mc) >= max_writes {
+                            break 'outer;
+                        }
+                        done += 1;
+                        if done >= round_writes {
+                            break;
+                        }
+                    }
+                    if done >= round_writes {
+                        break;
+                    }
+                }
+            }
+            block = partner;
+            rounds += 1;
+        }
+
+        AttackOutcome {
+            failed_memory: mc.failed(),
+            elapsed_ns: mc.now_ns(),
+            attack_writes: spent(mc),
+            notes: vec![format!("outer rounds attacked: {rounds}")],
+        }
+    }
+}
+
+/// RTA against Multi-Way SR (§III-E's closing analysis: "it takes at most
+/// (2N/R)·log2(R) writes to detect the remapping of the target sub-region
+/// and we can wear out the sub-region (2N/R)·(ψ−log2(R)) times before a
+/// new remapping round starts").
+///
+/// Multi-Way SR's outer keys only touch the way-index bits, so a logical
+/// block maps to a way wholesale and the attacker's tracking is the same
+/// as against two-level SR, with a cheaper per-round detection (the paper's
+/// `2N/R` factor: way-uniform patterns need only the target way pair
+/// rewritten). Grey-box like [`RtaSrTwoLevel`], with the detection cost
+/// charged in real writes.
+#[derive(Debug, Clone, Copy)]
+pub struct RtaMultiWaySr {
+    /// Number of ways `R`.
+    pub ways: u64,
+    /// Outer refresh interval ψ_out.
+    pub outer_interval: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RtaMultiWaySr {
+    /// Run against a Multi-Way SR controller.
+    pub fn run(
+        &self,
+        mc: &mut MemoryController<srbsg_wearlevel::MultiWaySr>,
+        max_writes: u128,
+    ) -> AttackOutcome {
+        let n = mc.logical_lines();
+        let r = self.ways;
+        let n_r = n / r;
+        let way_bits = r.trailing_zeros();
+        let shift = n.trailing_zeros() - way_bits;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let start = mc.demand_writes();
+        let spent =
+            |mc: &MemoryController<srbsg_wearlevel::MultiWaySr>| mc.demand_writes() - start;
+
+        let mut block: u64 = 0;
+        let mut rounds = 0u64;
+        'outer: while spent(mc) < max_writes && !mc.failed() {
+            // Detection: (2N/R)·log2(R) writes — pattern the tracked block
+            // and one probe block per way bit, then observe.
+            for j in 0..way_bits {
+                for idx in 0..(2 * n_r) {
+                    let b = if idx < n_r { block } else { block ^ (1 << j) };
+                    let la = (b << shift) | (idx % n_r);
+                    let d = if idx < n_r {
+                        LineData::Ones
+                    } else {
+                        LineData::Zeros
+                    };
+                    if mc.write(la, d).failed || spent(mc) >= max_writes {
+                        break 'outer;
+                    }
+                }
+                let wait = 2 * self.outer_interval + rng.random_range(0..self.outer_interval);
+                let target = (block << shift) | rng.random_range(0..n_r);
+                if mc.write_repeat(target, LineData::Ones, wait).failed {
+                    break 'outer;
+                }
+            }
+            let outer = mc.scheme().outer();
+            let xor_high = (outer.key_c() ^ outer.key_p()) >> shift;
+            let partner = block ^ xor_high;
+
+            // Wear phase: grind the tracked and partner blocks through the
+            // round (the paper's (2N/R)·(ψ−log2 R) wear writes, repeated).
+            let round_writes = n * self.outer_interval;
+            let mut done = 0u64;
+            while done < round_writes {
+                for b in [block, partner] {
+                    for idx in 0..n_r {
+                        let la = (b << shift) | idx;
+                        if mc.write(la, LineData::Ones).failed || spent(mc) >= max_writes {
+                            break 'outer;
+                        }
+                        done += 1;
+                        if done >= round_writes {
+                            break;
+                        }
+                    }
+                    if done >= round_writes {
+                        break;
+                    }
+                }
+            }
+            block = partner;
+            rounds += 1;
+        }
+        AttackOutcome {
+            failed_memory: mc.failed(),
+            elapsed_ns: mc.now_ns(),
+            attack_writes: spent(mc),
+            notes: vec![format!("outer rounds attacked: {rounds}")],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_pcm::TimingModel;
+    use srbsg_wearlevel::SecurityRefresh;
+
+    #[test]
+    fn one_level_recovers_true_key_xor() {
+        let wl = SecurityRefresh::new(256, 1, 64, 5);
+        let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+        let attack = RtaSrOneLevel {
+            region_lines: 256,
+            interval: 64,
+        };
+        // Snapshot ground-truth XORs as rounds complete by re-running and
+        // comparing against recovered values: run with a generous budget
+        // and validate every recovered XOR against the scheme's history.
+        let report = attack.run(&mut mc, 2_000_000);
+        assert!(
+            !report.recovered_xors.is_empty(),
+            "no key XOR recovered: {:?}",
+            report.outcome.notes
+        );
+        // The most recent recovery must match the scheme's current or
+        // previous round (detection completes mid-round).
+        let m = mc.scheme().region(0);
+        let current_xor = m.key_c() ^ m.key_p();
+        let last = *report.recovered_xors.last().unwrap();
+        assert!(
+            report.recovered_xors.contains(&current_xor) || last == current_xor,
+            "recovered {:?}, scheme xor {current_xor}",
+            report.recovered_xors
+        );
+    }
+
+    #[test]
+    fn one_level_wear_concentrates() {
+        let wl = SecurityRefresh::new(256, 1, 64, 9);
+        let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+        let attack = RtaSrOneLevel {
+            region_lines: 256,
+            interval: 64,
+        };
+        let _ = attack.run(&mut mc, 400_000);
+        let wear = mc.bank().wear();
+        let max = *wear.iter().max().unwrap() as f64;
+        let mean = wear.iter().map(|&w| w as f64).sum::<f64>() / wear.len() as f64;
+        assert!(
+            max > mean * 8.0,
+            "expected concentrated wear: max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn one_level_rta_beats_raa() {
+        let endurance = 40_000u64;
+        let mk = || {
+            MemoryController::new(
+                SecurityRefresh::new(256, 1, 64, 3),
+                endurance,
+                TimingModel::PAPER,
+            )
+        };
+        let mut rta_mc = mk();
+        let rta = RtaSrOneLevel {
+            region_lines: 256,
+            interval: 64,
+        }
+        .run(&mut rta_mc, u128::MAX >> 1);
+        assert!(rta.outcome.failed_memory);
+
+        let mut raa_mc = mk();
+        let raa = crate::RepeatedAddressAttack::default().run(&mut raa_mc, u128::MAX >> 1);
+        assert!(raa.failed_memory);
+        assert!(
+            rta.outcome.attack_writes * 2 < raa.attack_writes,
+            "RTA {} vs RAA {}",
+            rta.outcome.attack_writes,
+            raa.attack_writes
+        );
+    }
+
+    #[test]
+    fn multiway_attack_wears_out_a_way() {
+        use srbsg_wearlevel::MultiWaySr;
+        let endurance = 2_000u64;
+        let wl = MultiWaySr::new(1024, 32, 8, 32, 11);
+        let mut mc = MemoryController::new(wl, endurance, TimingModel::PAPER);
+        let out = RtaMultiWaySr {
+            ways: 32,
+            outer_interval: 32,
+            seed: 1,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(out.failed_memory, "{:?}", out.notes);
+        // Cost within a small multiple of the 2·n_r·E two-way ideal.
+        let ideal = 2 * 32 * endurance as u128;
+        assert!(
+            out.attack_writes < ideal * 4,
+            "attack writes {} vs ideal {ideal}",
+            out.attack_writes
+        );
+    }
+
+    #[test]
+    fn two_level_attack_wears_out_a_sub_region() {
+        // Needs enough sub-regions that killing one (1/R of capacity) is
+        // far cheaper than RAA's whole-bank grind — the paper uses R = 512;
+        // R = 32 already shows the gap.
+        let endurance = 2_000u64;
+        let mk = || TwoLevelSr::new(1024, 32, 8, 32, 11);
+        let mut mc = MemoryController::new(mk(), endurance, TimingModel::PAPER);
+        let out = RtaSrTwoLevel {
+            sub_regions: 32,
+            outer_interval: 32,
+            seed: 1,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(out.failed_memory, "{:?}", out.notes);
+
+        // The attack's claim is *concentration*: the hammered blocks' two
+        // sub-regions absorb a dominant share of the wear, so the write
+        // cost is ~n_r·E, not the whole bank's N·E. (The RTA ≪ RAA lifetime
+        // comparison lives in the paper-scale engines of srbsg-lifetime;
+        // at toy scale RAA dies before the outer level can spread it.)
+        let wear = mc.bank().wear();
+        let n_r = 1024 / 32;
+        let mut per_region: Vec<u128> = wear
+            .chunks(n_r)
+            .map(|c| c.iter().map(|&w| w as u128).sum())
+            .collect();
+        per_region.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u128 = per_region.iter().sum();
+        let top2 = per_region[0] + per_region[1];
+        assert!(
+            top2 as f64 > total as f64 * 0.4,
+            "wear should concentrate in the attacked sub-regions: top2 {top2} of {total}"
+        );
+        // And the cost is within a small multiple of the n_r·E·2 ideal.
+        let ideal = 2 * n_r as u128 * endurance as u128;
+        assert!(
+            out.attack_writes < ideal * 3,
+            "attack writes {} vs ideal {ideal}",
+            out.attack_writes
+        );
+        let _ = mk; // silence unused when asserts change
+    }
+}

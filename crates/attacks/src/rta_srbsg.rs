@@ -1,0 +1,261 @@
+//! The Remapping Timing Attack pointed at Security RBSG — and why it fails
+//! (paper §IV-B, §V-C).
+//!
+//! The RTA against RBSG (§III-B) works because the randomizer is *static*:
+//! timing observations from different rounds all constrain the same mapping,
+//! so the attacker can afford one bit plane per region lap. Security RBSG
+//! rolls its Feistel keys every remapping round, so observations stop being
+//! about the same mapping after at most one round. Security holds when the
+//! writes needed to recover one key array exceed the writes in one round:
+//!
+//! ```text
+//! S · B · cost_per_bit  >  round_writes ≈ N · ψ_out
+//! ```
+//!
+//! with `cost_per_bit ≥ N/R` (the paper's charitable-to-the-attacker
+//! assumption that one bit costs as little as it does against SR). Adding
+//! stages (`S`) raises the left side — the *security-level adjustable* knob.
+//!
+//! [`DetectionProbe`] demonstrates the failure empirically: it marks one
+//! line ALL-1 and times the intervals between that line's movements. Under
+//! RBSG the intervals are perfectly periodic (the attack's foundation);
+//! under Security RBSG the outer DFN relocates the line across sub-regions
+//! every round and the periodicity collapses.
+
+use srbsg_pcm::{LineAddr, LineData, MemoryController, Ns, WearLeveler};
+
+use crate::{AttackOutcome, RepeatedAddressAttack};
+
+/// Black-box probe: measure the stability of the victim line's movement
+/// periodicity — the property RTA needs.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectionProbe {
+    /// The marked logical address.
+    pub target: LineAddr,
+    /// How many movement-to-movement intervals of the marked line to
+    /// collect.
+    pub samples: usize,
+}
+
+/// What the probe saw.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// Write-count gaps between consecutive observed movements of the
+    /// marked (ALL-1) line.
+    pub intervals: Vec<u64>,
+    /// Fraction of intervals equal to the modal interval: 1.0 means the
+    /// periodicity RTA requires; low values mean the mapping churns.
+    pub periodicity: f64,
+}
+
+impl DetectionProbe {
+    /// Run the probe: sweep ALL-0, mark `target` ALL-1, and hammer it,
+    /// recording the spacing of read+SET movement spikes.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> ProbeReport {
+        let n = mc.logical_lines();
+        let t = *mc.bank().timing();
+        let plain_ones = (t.translation_ns + t.set_ns) as Ns;
+        let mv0 = (t.read_ns + t.reset_ns) as Ns;
+        let mv1 = (t.read_ns + t.set_ns) as Ns;
+        // Spike that contains a read+SET movement somewhere in the stall.
+        let marked_threshold = plain_ones + (mv0 + mv1) / 2;
+
+        for la in 0..n {
+            let d = if la == self.target {
+                LineData::Ones
+            } else {
+                LineData::Zeros
+            };
+            mc.write(la, d);
+        }
+
+        let start = mc.demand_writes();
+        let mut intervals = Vec::with_capacity(self.samples);
+        let mut last_at: Option<u128> = None;
+        while intervals.len() < self.samples && mc.demand_writes() - start < max_writes {
+            let cap_left = max_writes - (mc.demand_writes() - start);
+            let cap = cap_left.min(1 << 24) as u64;
+            let (_, resp) = mc.write_until_slow(self.target, LineData::Ones, marked_threshold, cap);
+            if resp.failed || resp.latency_ns <= marked_threshold {
+                break;
+            }
+            let now = mc.demand_writes() - start;
+            if let Some(prev) = last_at {
+                intervals.push((now - prev) as u64);
+            }
+            last_at = Some(now);
+        }
+
+        let periodicity = if intervals.len() >= 2 {
+            let mut counts = std::collections::HashMap::new();
+            for &i in &intervals {
+                *counts.entry(i).or_insert(0usize) += 1;
+            }
+            let modal = counts.values().copied().max().unwrap_or(0);
+            modal as f64 / intervals.len() as f64
+        } else {
+            0.0
+        };
+
+        ProbeReport {
+            intervals,
+            periodicity,
+        }
+    }
+}
+
+/// The paper's security condition (§IV-B): writes needed to recover the key
+/// array vs writes available before the keys roll. The paper charitably
+/// grants the attacker SR's per-bit cost of `N/R` writes and requires
+///
+/// ```text
+/// S · B · (N/R)  >  (N/R) · ψ_out      ⇔      S · B > ψ_out
+/// ```
+///
+/// (its worked example: B = 22, 6 stages ⇒ 132-bit key defeats detection
+/// for any ψ_out ≤ 132). Returns the margin `S·B / ψ_out`; above 1.0 the
+/// keys roll before they can be recovered, and the margin grows linearly
+/// with the number of stages — the security-level knob.
+pub fn detection_margin(width: u32, outer_interval: u64, stages: u64) -> f64 {
+    stages as f64 * width as f64 / outer_interval as f64
+}
+
+/// RTA pointed at Security RBSG: probe for the periodicity the attack
+/// needs; finding none, fall back to hammering — which the inner/outer
+/// leveling spreads bank-wide, reducing the attack to RAA.
+#[derive(Debug, Clone, Copy)]
+pub struct RtaSecurityRbsg {
+    /// The marked/hammered logical address.
+    pub target: LineAddr,
+    /// Write budget for the reconnaissance probe.
+    pub probe_budget: u128,
+}
+
+impl RtaSecurityRbsg {
+    /// Run probe + fallback hammering.
+    pub fn run<W: WearLeveler>(
+        &self,
+        mc: &mut MemoryController<W>,
+        max_writes: u128,
+    ) -> (AttackOutcome, ProbeReport) {
+        let probe = DetectionProbe {
+            target: self.target,
+            samples: 64,
+        }
+        .run(mc, self.probe_budget.min(max_writes));
+        let spent = mc.demand_writes();
+        let mut outcome = RepeatedAddressAttack {
+            target: self.target,
+            data: LineData::Ones,
+        }
+        .run(mc, max_writes.saturating_sub(spent));
+        outcome.notes.push(format!(
+            "probe periodicity {:.3} over {} intervals; fell back to RAA",
+            probe.periodicity,
+            probe.intervals.len()
+        ));
+        (outcome, probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+    use srbsg_pcm::TimingModel;
+    use srbsg_wearlevel::Rbsg;
+
+    #[test]
+    fn rbsg_movements_are_perfectly_periodic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let wl = Rbsg::with_feistel(&mut rng, 8, 4, 4);
+        let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+        let report = DetectionProbe {
+            target: 5,
+            samples: 12,
+        }
+        .run(&mut mc, 1 << 22);
+        assert!(report.intervals.len() >= 10);
+        assert!(
+            report.periodicity > 0.9,
+            "RBSG should be periodic: {:?}",
+            report.intervals
+        );
+    }
+
+    #[test]
+    fn security_rbsg_breaks_the_periodicity() {
+        let cfg = SecurityRbsgConfig {
+            width: 8,
+            sub_regions: 4,
+            inner_interval: 4,
+            outer_interval: 4,
+            stages: 7,
+            seed: 3,
+        };
+        let mut mc = MemoryController::new(SecurityRbsg::new(cfg), u64::MAX, TimingModel::PAPER);
+        let report = DetectionProbe {
+            target: 5,
+            samples: 24,
+        }
+        .run(&mut mc, 1 << 23);
+        assert!(report.intervals.len() >= 8, "{:?}", report.intervals);
+        assert!(
+            report.periodicity < 0.8,
+            "Security RBSG should churn the mapping: periodicity {:.3}, {:?}",
+            report.periodicity,
+            report.intervals
+        );
+    }
+
+    #[test]
+    fn paper_margin_numbers() {
+        // §IV-B: for a 1 GB bank (B = 22) and ψ_out = 128, a 6-stage DFN
+        // (132-bit key) already defeats detection; 3 stages do not.
+        assert!(detection_margin(22, 128, 6) > 1.0);
+        assert!(detection_margin(22, 128, 3) < 1.0);
+        // More stages → linearly larger margin.
+        let m7 = detection_margin(22, 128, 7);
+        let m14 = detection_margin(22, 128, 14);
+        assert!((m14 / m7 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fallback_attack_reduces_to_raa_lifetime() {
+        let cfg = SecurityRbsgConfig {
+            width: 8,
+            sub_regions: 4,
+            inner_interval: 4,
+            outer_interval: 8,
+            stages: 5,
+            seed: 1,
+        };
+        let endurance = 2_000u64;
+        let mk = || MemoryController::new(SecurityRbsg::new(cfg), endurance, TimingModel::PAPER);
+
+        let mut mc = mk();
+        let (rta_out, _) = RtaSecurityRbsg {
+            target: 0,
+            probe_budget: 50_000,
+        }
+        .run(&mut mc, u128::MAX >> 1);
+        assert!(rta_out.failed_memory);
+
+        let mut mc = mk();
+        let raa_out = RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);
+        assert!(raa_out.failed_memory);
+
+        // RTA gains nothing: within 2x of plain RAA (probe overhead aside).
+        let ratio = rta_out.attack_writes as f64 / raa_out.attack_writes as f64;
+        assert!(
+            ratio > 0.5,
+            "RTA should not beat RAA on Security RBSG (ratio {ratio})"
+        );
+    }
+}

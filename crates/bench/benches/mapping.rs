@@ -1,0 +1,93 @@
+//! Microbenchmarks of the mapping primitives: the per-access costs a real
+//! memory controller would pay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srbsg_core::{DfnMapping, SecurityRbsg, SecurityRbsgConfig};
+use srbsg_feistel::{AddressPermutation, FeistelNetwork, RibmPermutation};
+use srbsg_pcm::WearLeveler;
+use srbsg_wearlevel::{GapMapping, Rbsg, SrMapping, TwoLevelSr};
+
+fn bench_randomizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomizer_encrypt");
+    for stages in [3usize, 7, 20] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = FeistelNetwork::random(&mut rng, 22, stages);
+        g.bench_function(format!("feistel_{stages}_stages"), |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = (x + 1) & ((1 << 22) - 1);
+                black_box(net.encrypt(black_box(x)))
+            })
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(2);
+    let m = RibmPermutation::random(&mut rng, 22);
+    g.bench_function("ribm", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) & ((1 << 22) - 1);
+            black_box(m.encrypt(black_box(x)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheme_translate");
+    let mut rng = StdRng::seed_from_u64(3);
+    let rbsg = Rbsg::with_feistel(&mut rng, 16, 32, 100);
+    g.bench_function("rbsg", |b| {
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 1) & 0xFFFF;
+            black_box(rbsg.translate(black_box(la)))
+        })
+    });
+    let sr2 = TwoLevelSr::new(1 << 16, 64, 64, 128, 4);
+    g.bench_function("two_level_sr", |b| {
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 1) & 0xFFFF;
+            black_box(sr2.translate(black_box(la)))
+        })
+    });
+    let srbsg = SecurityRbsg::new(SecurityRbsgConfig {
+        width: 16,
+        sub_regions: 64,
+        inner_interval: 64,
+        outer_interval: 128,
+        stages: 7,
+        seed: 4,
+    });
+    g.bench_function("security_rbsg", |b| {
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 1) & 0xFFFF;
+            black_box(srbsg.translate(black_box(la)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_remap_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("remap_step");
+    g.bench_function("gap_mapping_advance", |b| {
+        let mut m = GapMapping::new(1 << 13);
+        b.iter(|| black_box(m.advance()))
+    });
+    g.bench_function("sr_mapping_advance", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = SrMapping::new(1 << 13, &mut rng);
+        b.iter(|| black_box(m.advance(&mut rng)))
+    });
+    g.bench_function("dfn_advance", |b| {
+        let mut m = DfnMapping::new(13, 7, 6);
+        b.iter(|| black_box(m.advance()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_randomizers, bench_translation, bench_remap_steps);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! System-level throughput: controller write paths (the simulator's own
+//! speed, which bounds how much evaluation fits in a compute budget) and
+//! the performance-model pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_pcm::{LineData, MemoryController, TimingModel};
+use srbsg_perf::{run_trace, PerfConfig};
+use srbsg_wearlevel::TwoLevelSr;
+use srbsg_workloads::{TraceGenerator, UniformTrace, ZipfTrace};
+
+fn bench_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller");
+    g.bench_function("write_security_rbsg", |b| {
+        let mut mc = MemoryController::new(
+            SecurityRbsg::new(SecurityRbsgConfig {
+                width: 14,
+                sub_regions: 16,
+                inner_interval: 64,
+                outer_interval: 128,
+                stages: 7,
+                seed: 0,
+            }),
+            u64::MAX,
+            TimingModel::PAPER,
+        );
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 1) & 0x3FFF;
+            black_box(mc.write(la, LineData::Mixed(la as u32)))
+        })
+    });
+    g.bench_function("write_two_level_sr", |b| {
+        let mut mc = MemoryController::new(
+            TwoLevelSr::new(1 << 14, 16, 64, 128, 0),
+            u64::MAX,
+            TimingModel::PAPER,
+        );
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 1) & 0x3FFF;
+            black_box(mc.write(la, LineData::Mixed(la as u32)))
+        })
+    });
+    g.bench_function("write_repeat_batched_4096", |b| {
+        let mut mc = MemoryController::new(
+            SecurityRbsg::new(SecurityRbsgConfig {
+                width: 14,
+                sub_regions: 16,
+                inner_interval: 64,
+                outer_interval: 128,
+                stages: 7,
+                seed: 0,
+            }),
+            u64::MAX,
+            TimingModel::PAPER,
+        );
+        b.iter(|| black_box(mc.write_repeat(7, LineData::Ones, 4096)))
+    });
+    g.finish();
+}
+
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.bench_function("zipf_trace", |b| {
+        let mut t = ZipfTrace::new(1 << 20, 1.1, 0.4, 50, 1);
+        b.iter(|| black_box(t.next_access()))
+    });
+    g.finish();
+}
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("perfmodel");
+    g.sample_size(10);
+    g.bench_function("run_trace_20k", |b| {
+        let cfg = PerfConfig {
+            accesses: 20_000,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut mc = MemoryController::new(
+                SecurityRbsg::new(SecurityRbsgConfig {
+                    width: 12,
+                    sub_regions: 16,
+                    inner_interval: 64,
+                    outer_interval: 128,
+                    stages: 7,
+                    seed: 0,
+                }),
+                u64::MAX,
+                TimingModel::PAPER,
+            );
+            let mut trace = UniformTrace::new(1 << 12, 0.4, 100, 3);
+            black_box(run_trace(&mut mc, &mut trace, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_controller, bench_traces, bench_perfmodel);
+criterion_main!(benches);

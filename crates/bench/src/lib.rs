@@ -1,0 +1,7 @@
+//! Criterion benchmark crate for the Security RBSG reproduction.
+//!
+//! Three suites live under `benches/`:
+//! * `mapping` — per-access costs of the randomizers, translations, and
+//!   remap-step primitives;
+//! * `figures` — one scaled-down pipeline per paper table/figure;
+//! * `system` — controller write-path and perf-model throughput.

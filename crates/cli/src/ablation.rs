@@ -1,0 +1,108 @@
+//! Ablations of the device/controller assumptions the attacks live on:
+//! data-comparison writes (DCW) and the delayed-write (coalescing) buffer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srbsg_pcm::{BufferedController, LineData, MemoryController, TimingModel};
+use srbsg_wearlevel::Rbsg;
+
+use crate::table::Table;
+use crate::Opts;
+
+const WIDTH: u32 = 10;
+const ENDURANCE: u64 = 20_000;
+
+fn rbsg(seed: u64, dcw: bool) -> MemoryController<Rbsg<srbsg_feistel::FeistelNetwork>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let timing = TimingModel {
+        data_comparison_write: dcw,
+        ..TimingModel::PAPER
+    };
+    MemoryController::new(Rbsg::with_feistel(&mut rng, WIDTH, 4, 16), ENDURANCE, timing)
+}
+
+/// RAA writing the same data forever.
+fn raa_constant(mc: &mut MemoryController<Rbsg<srbsg_feistel::FeistelNetwork>>) -> u128 {
+    let budget = 200_000_000u128;
+    let mut writes = 0u128;
+    while !mc.failed() && writes < budget {
+        let chunk = 1u64 << 16;
+        mc.write_repeat(0, LineData::Ones, chunk);
+        writes += chunk as u128;
+    }
+    writes
+}
+
+/// RAA alternating ALL-0/ALL-1 so every write flips bits.
+fn raa_alternating(mc: &mut MemoryController<Rbsg<srbsg_feistel::FeistelNetwork>>) -> u128 {
+    let budget = 200_000_000u128;
+    let mut writes = 0u128;
+    while !mc.failed() && writes < budget {
+        mc.write(0, LineData::Ones);
+        mc.write(0, LineData::Zeros);
+        writes += 2;
+    }
+    writes
+}
+
+pub fn run(opts: &Opts) {
+    let mut t = Table::new(
+        "ablation — data-comparison writes (DCW) vs the Repeated Address Attack",
+        &["dcw", "attack_data", "writes_to_fail", "outcome"],
+    );
+    for dcw in [false, true] {
+        let mut mc = rbsg(1, dcw);
+        let w = raa_constant(&mut mc);
+        t.row(vec![
+            dcw.to_string(),
+            "constant ALL-1".into(),
+            w.to_string(),
+            if mc.failed() { "FAILED" } else { "survived budget" }.into(),
+        ]);
+        let mut mc = rbsg(1, dcw);
+        let w = raa_alternating(&mut mc);
+        t.row(vec![
+            dcw.to_string(),
+            "alternating 0/1".into(),
+            w.to_string(),
+            if mc.failed() { "FAILED" } else { "survived budget" }.into(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "ablation_dcw");
+    println!(
+        "DCW nullifies redundant rewrites, so constant-data RAA never wears PCM; an \
+         attacker simply alternates data and the attack returns at half rate"
+    );
+
+    let mut t = Table::new(
+        "ablation — delayed-write buffer (depth 8) vs address rotation",
+        &["rotation_set", "writes_to_fail", "coalesced"],
+    );
+    for set in [1u64, 4, 9, 32] {
+        let mut bc = BufferedController::new(rbsg(2, false), 8);
+        let mut writes = 0u128;
+        let budget = 50_000_000u128;
+        let mut i = 0u64;
+        while !bc.failed() && writes < budget {
+            bc.write(i % set, LineData::Ones);
+            i += 1;
+            writes += 1;
+        }
+        t.row(vec![
+            set.to_string(),
+            if bc.failed() {
+                writes.to_string()
+            } else {
+                format!(">{budget}")
+            },
+            bc.coalesced_writes().to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "ablation_buffer");
+    println!(
+        "a rotation one wider than the buffer defeats it (§III-B: the attacker \"has to \
+         write more extra lines\" — a constant-factor cost only)"
+    );
+}

@@ -1,0 +1,120 @@
+//! §III mechanics: demonstrate the RTA detection machinery end-to-end at a
+//! directly-simulable scale, plus the security-margin table of §IV-B.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srbsg_attacks::{detection_margin, DetectionProbe, RtaRbsg, RtaSrOneLevel};
+use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_feistel::AddressPermutation;
+use srbsg_pcm::{MemoryController, TimingModel};
+use srbsg_wearlevel::{Rbsg, SecurityRefresh};
+
+use crate::table::Table;
+use crate::Opts;
+
+pub fn run(opts: &Opts) {
+    // --- 1. RTA vs RBSG: recover the full physical-adjacency sequence.
+    let (width, regions, interval) = (10u32, 4u64, 8u64);
+    let mut rng = StdRng::seed_from_u64(1);
+    let wl = Rbsg::with_feistel(&mut rng, width, regions, interval);
+    let truth: Vec<u64> = {
+        let rnd = wl.randomizer();
+        let n_r = (1u64 << width) / regions;
+        let ia = rnd.encrypt(0);
+        let region = ia / n_r;
+        let idx = ia % n_r;
+        (0..n_r)
+            .map(|k| rnd.decrypt(region * n_r + (idx + n_r - k % n_r) % n_r))
+            .collect()
+    };
+    let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+    let report = RtaRbsg {
+        regions,
+        interval,
+        li: 0,
+    }
+    .run(&mut mc, 50_000_000);
+    let correct = report
+        .learned_sequence
+        .iter()
+        .zip(&truth)
+        .filter(|(a, b)| a == b)
+        .count();
+    println!(
+        "\n== §III-B — RTA detection vs RBSG (2^{width} lines, {regions} regions, ψ={interval}) ==",
+    );
+    println!(
+        "recovered {}/{} region addresses correctly via timing alone ({} detection writes)",
+        correct,
+        truth.len(),
+        report.detection_writes
+    );
+
+    // --- 2. RTA vs one-level SR: recover key XORs.
+    let wl = SecurityRefresh::new(256, 1, 32, 3);
+    let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+    let report = RtaSrOneLevel {
+        region_lines: 256,
+        interval: 32,
+    }
+    .run(&mut mc, 5_000_000);
+    println!("\n== §III-D — RTA detection vs one-level SR (256 lines, ψ=32) ==");
+    println!(
+        "recovered {} per-round key XORs via swap-latency classification \
+         (first after {} writes): {:?}",
+        report.recovered_xors.len(),
+        report.first_detection_writes,
+        &report.recovered_xors[..report.recovered_xors.len().min(6)]
+    );
+
+    // --- 3. The periodicity probe: why RBSG is attackable and Security
+    //        RBSG is not.
+    let mut rng = StdRng::seed_from_u64(5);
+    let wl = Rbsg::with_feistel(&mut rng, 8, 4, 4);
+    let mut mc = MemoryController::new(wl, u64::MAX, TimingModel::PAPER);
+    let rbsg_probe = DetectionProbe {
+        target: 3,
+        samples: 16,
+    }
+    .run(&mut mc, 1 << 22);
+
+    let scheme = SecurityRbsg::new(SecurityRbsgConfig {
+        width: 8,
+        sub_regions: 4,
+        inner_interval: 4,
+        outer_interval: 4,
+        stages: 7,
+        seed: 5,
+    });
+    let mut mc = MemoryController::new(scheme, u64::MAX, TimingModel::PAPER);
+    let srbsg_probe = DetectionProbe {
+        target: 3,
+        samples: 16,
+    }
+    .run(&mut mc, 1 << 23);
+    println!("\n== movement-periodicity probe (the observable RTA needs) ==");
+    println!(
+        "RBSG:          periodicity {:.2} over intervals {:?}",
+        rbsg_probe.periodicity, rbsg_probe.intervals
+    );
+    println!(
+        "Security RBSG: periodicity {:.2} over intervals {:?}",
+        srbsg_probe.periodicity, srbsg_probe.intervals
+    );
+
+    // --- 4. §IV-B security margin table.
+    let mut t = Table::new(
+        "§IV-B — detection margin S·B/ψ_out (>1 ⇒ keys roll before recovery)",
+        &["stages", "ψ_out=64", "ψ_out=128", "ψ_out=256"],
+    );
+    for s in [3u64, 6, 7, 10, 14, 20] {
+        t.row(vec![
+            s.to_string(),
+            format!("{:.2}", detection_margin(opts.params.width(), 64, s)),
+            format!("{:.2}", detection_margin(opts.params.width(), 128, s)),
+            format!("{:.2}", detection_margin(opts.params.width(), 256, s)),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "detect_margin");
+}

@@ -1,0 +1,41 @@
+//! §V-C3: hardware overhead of Security RBSG.
+
+use srbsg_core::overhead;
+
+use crate::table::Table;
+use crate::Opts;
+
+pub fn run(opts: &Opts) {
+    let width = opts.params.width();
+    let mut t = Table::new(
+        "§V-C3 — hardware overhead (per bank)",
+        &[
+            "stages",
+            "register_bits",
+            "register_KB",
+            "sram_KB",
+            "spare_pcm_bytes",
+            "paper_spare_bytes",
+            "gates",
+        ],
+    );
+    for stages in [3u64, 6, 7, 10, 14, 20] {
+        let r = overhead(width, 512, 64, 128, stages, 256);
+        t.row(vec![
+            stages.to_string(),
+            r.register_bits.to_string(),
+            format!("{:.2}", r.register_bits as f64 / 8.0 / 1024.0),
+            format!("{:.1}", r.sram_bits as f64 / 8.0 / 1024.0),
+            r.spare_pcm_bytes.to_string(),
+            r.paper_spare_bytes.to_string(),
+            r.gate_count.to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "overhead");
+    println!(
+        "paper reference (recommended config, 7 stages, 1 GB bank): ~2 KB registers, \
+         0.5 MB isRemap SRAM, (3/8)·S·B^2 gates; we add a 256 B SRAM spare buffer \
+         (see DESIGN.md on the cubing round function's cycle structure)"
+    );
+}

@@ -1,0 +1,107 @@
+//! Hardware-overhead model for Security RBSG (paper §V-C3).
+
+/// Hardware cost estimate for one Security RBSG bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadReport {
+    /// Register bits: `(S+1)·B + log2(ψ_out) + R·(2·log2(N/R) + log2(ψ_in))`.
+    pub register_bits: u64,
+    /// SRAM bits for the per-line `isRemap` flags (`N` bits).
+    pub sram_bits: u64,
+    /// Extra PCM bytes for gap/spare lines: `(R + 1) · line_size`.
+    ///
+    /// The paper prints `(S+1)×256` bytes here, which we believe is a typo
+    /// (spare lines are needed per *sub-region* plus one for the DFN, not
+    /// per Feistel *stage*); see [`OverheadReport::paper_spare_bytes`].
+    pub spare_pcm_bytes: u64,
+    /// The paper's literal `(S+1) · line_size` figure, for comparison.
+    pub paper_spare_bytes: u64,
+    /// Gate count of the round-function circuits: `(3/8)·S·B²`
+    /// (cubing = squaring (~B²/2 gates) + multiply (~B²), per stage,
+    /// scaled by the paper's 3/8 constant).
+    pub gate_count: u64,
+}
+
+/// Integer `ceil(log2(x))`, with `log2(1) = 0`.
+fn log2_ceil(x: u64) -> u64 {
+    assert!(x >= 1);
+    64 - (x - 1).leading_zeros() as u64
+}
+
+/// Compute the hardware overhead of a Security RBSG configuration.
+///
+/// * `width` — address bits `B` (bank has `2^width` lines).
+/// * `sub_regions` — inner region count `R`.
+/// * `inner_interval` / `outer_interval` — ψ_in / ψ_out.
+/// * `stages` — DFN stages `S`.
+/// * `line_bytes` — line size (256 in the paper).
+pub fn overhead(
+    width: u32,
+    sub_regions: u64,
+    inner_interval: u64,
+    outer_interval: u64,
+    stages: u64,
+    line_bytes: u64,
+) -> OverheadReport {
+    let b = width as u64;
+    let n = 1u64 << width;
+    let region_lines = n / sub_regions;
+    let register_bits = (stages + 1) * b
+        + log2_ceil(outer_interval)
+        + sub_regions * (2 * log2_ceil(region_lines) + log2_ceil(inner_interval));
+    OverheadReport {
+        register_bits,
+        // isRemap flags plus the SRAM-backed spare line (see
+        // `SecurityRbsg::init_bank`).
+        sram_bits: n + line_bytes * 8,
+        spare_pcm_bytes: (sub_regions + 1) * line_bytes,
+        paper_spare_bytes: (stages + 1) * line_bytes,
+        gate_count: 3 * stages * b * b / 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(64), 6);
+        assert_eq!(log2_ceil(65), 7);
+        assert_eq!(log2_ceil(128), 7);
+    }
+
+    /// The paper's worked numbers for the recommended configuration: about
+    /// 2 KB of registers and 0.5 MB of SRAM for a 1 GB bank (§V-C3).
+    #[test]
+    fn paper_recommended_config_overhead() {
+        let r = overhead(22, 512, 64, 128, 7, 256);
+        // Registers: 8·22 + 7 + 512·(2·13 + 6) = 176 + 7 + 16384 = 16567
+        // bits ≈ 2.02 KB.
+        assert_eq!(r.register_bits, 8 * 22 + 7 + 512 * (2 * 13 + 6));
+        let kib = r.register_bits as f64 / 8.0 / 1024.0;
+        assert!((1.8..2.3).contains(&kib), "register KB = {kib}");
+        // isRemap SRAM: 2^22 bits = 0.5 MB, plus the 256 B spare buffer.
+        assert_eq!(r.sram_bits, (1 << 22) + 256 * 8);
+        // Gates: (3/8)·7·22² = 1270.
+        assert_eq!(r.gate_count, 3 * 7 * 22 * 22 / 8);
+    }
+
+    #[test]
+    fn spare_lines_scale_with_regions_not_stages() {
+        let a = overhead(20, 256, 64, 128, 7, 256);
+        let b = overhead(20, 256, 64, 128, 20, 256);
+        assert_eq!(a.spare_pcm_bytes, b.spare_pcm_bytes);
+        assert_eq!(a.spare_pcm_bytes, 257 * 256);
+        assert_ne!(a.paper_spare_bytes, b.paper_spare_bytes);
+    }
+
+    #[test]
+    fn gate_count_grows_linearly_in_stages() {
+        let g6 = overhead(22, 512, 64, 128, 6, 256).gate_count;
+        let g12 = overhead(22, 512, 64, 128, 12, 256).gate_count;
+        assert_eq!(g12, 2 * g6);
+    }
+}

@@ -1,0 +1,345 @@
+#![warn(missing_docs)]
+
+//! Invertible address randomizers for PCM wear-leveling.
+//!
+//! This crate implements the address-space randomization substrate used by
+//! the wear-leveling schemes in the Security RBSG paper (IPDPS 2016):
+//!
+//! * [`FeistelNetwork`] — a multi-stage Feistel network whose round function
+//!   is the paper's *cubing* function `L' = R XOR (L XOR K)^3`. This is the
+//!   static randomizer in Region-Based Start-Gap and the dynamically re-keyed
+//!   permutation at the heart of Security RBSG's outer level.
+//! * [`RibmPermutation`] — a random invertible binary matrix over GF(2), the
+//!   alternative static randomizer mentioned by the RBSG paper.
+//! * [`IdentityPermutation`] — the no-op mapping, for baselines and tests.
+//!
+//! All randomizers implement [`AddressPermutation`]: a bijection over the
+//! `2^width` line-address space with both forward (`encrypt`) and inverse
+//! (`decrypt`) directions.
+//!
+//! Odd address widths are supported via *cycle walking*: the value is passed
+//! through a one-bit-wider balanced network repeatedly until it lands back in
+//! the domain. Because the wider network is a permutation, this terminates
+//! and yields a permutation of the original domain.
+
+mod matrix;
+
+pub use matrix::RibmPermutation;
+
+use rand::{Rng, RngExt};
+
+/// A bijection over the address space `0..2^width`.
+///
+/// `decrypt` must be the exact inverse of `encrypt` over that domain.
+pub trait AddressPermutation {
+    /// Number of address bits `B`. The domain is `0..(1 << B)`.
+    fn width(&self) -> u32;
+
+    /// Map a logical address to its randomized image.
+    fn encrypt(&self, x: u64) -> u64;
+
+    /// Inverse of [`AddressPermutation::encrypt`].
+    fn decrypt(&self, y: u64) -> u64;
+
+    /// Size of the address domain (`2^width`).
+    #[inline]
+    fn domain_size(&self) -> u64 {
+        1u64 << self.width()
+    }
+}
+
+/// The identity mapping. Used by the no-wear-leveling baseline and by
+/// schemes configured without a randomizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdentityPermutation {
+    width: u32,
+}
+
+impl IdentityPermutation {
+    /// Create the identity over `0..2^width`.
+    ///
+    /// # Panics
+    /// Panics if `width` is 0 or exceeds 63.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=63).contains(&width), "address width must be 1..=63");
+        Self { width }
+    }
+}
+
+impl AddressPermutation for IdentityPermutation {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    fn encrypt(&self, x: u64) -> u64 {
+        debug_assert!(x < self.domain_size());
+        x
+    }
+
+    #[inline]
+    fn decrypt(&self, y: u64) -> u64 {
+        debug_assert!(y < self.domain_size());
+        y
+    }
+}
+
+/// Per-round keys of a Feistel network.
+///
+/// The paper stores `B` bits of key per stage (§V-C3); only the low
+/// half-width bits participate in the round function, which is the part that
+/// determines the permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyArray {
+    keys: Vec<u64>,
+}
+
+impl KeyArray {
+    /// Draw a fresh key array of `stages` keys, each `key_bits` wide.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, stages: usize, key_bits: u32) -> Self {
+        assert!(stages >= 1, "a Feistel network needs at least one stage");
+        assert!((1..=63).contains(&key_bits));
+        let mask = (1u64 << key_bits) - 1;
+        let keys = (0..stages).map(|_| rng.random::<u64>() & mask).collect();
+        Self { keys }
+    }
+
+    /// Build from explicit keys (used by tests and worked examples).
+    pub fn from_keys(keys: Vec<u64>) -> Self {
+        assert!(!keys.is_empty());
+        Self { keys }
+    }
+
+    /// Number of stages this key array drives.
+    pub fn stages(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The per-stage keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+}
+
+/// Multi-stage Feistel network over a `width`-bit address space with the
+/// cubing round function from the paper: `L' = R XOR (L XOR K)^3`.
+///
+/// For even widths the two halves are `width/2` bits each. Odd widths are
+/// handled by cycle-walking a `(width+1)`-bit network.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use srbsg_feistel::{AddressPermutation, FeistelNetwork, KeyArray};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let keys = KeyArray::random(&mut rng, 3, 11);
+/// let net = FeistelNetwork::new(22, keys);
+/// let la = 0x1234_5u64 & ((1 << 22) - 1);
+/// assert_eq!(net.decrypt(net.encrypt(la)), la);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FeistelNetwork {
+    /// External address width (the domain is `0..2^width`).
+    width: u32,
+    /// Internal (possibly width+1) even width actually run through the rounds.
+    inner_width: u32,
+    half: u32,
+    half_mask: u64,
+    keys: KeyArray,
+}
+
+impl FeistelNetwork {
+    /// Build a network over `width` address bits with the given keys.
+    ///
+    /// # Panics
+    /// Panics if `width` is not in `2..=62` or `keys` is empty.
+    pub fn new(width: u32, keys: KeyArray) -> Self {
+        assert!((2..=62).contains(&width), "address width must be 2..=62");
+        let inner_width = if width.is_multiple_of(2) { width } else { width + 1 };
+        let half = inner_width / 2;
+        Self {
+            width,
+            inner_width,
+            half,
+            half_mask: (1u64 << half) - 1,
+            keys,
+        }
+    }
+
+    /// Build with `stages` random keys drawn from `rng`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, width: u32, stages: usize) -> Self {
+        let inner_width = if width.is_multiple_of(2) { width } else { width + 1 };
+        let keys = KeyArray::random(rng, stages, inner_width / 2);
+        Self::new(width, keys)
+    }
+
+    /// Number of Feistel stages (the paper's security-level knob).
+    pub fn stages(&self) -> usize {
+        self.keys.stages()
+    }
+
+    /// The key array currently in use.
+    pub fn keys(&self) -> &KeyArray {
+        &self.keys
+    }
+
+    /// The cubing round function: `(L XOR K)^3 mod 2^half`.
+    #[inline]
+    fn round(&self, l: u64, key: u64) -> u64 {
+        let v = (l ^ key) & self.half_mask;
+        let v = v as u128;
+        let cube = v.wrapping_mul(v).wrapping_mul(v);
+        (cube as u64) & self.half_mask
+    }
+
+    /// One forward pass through all stages over the inner (even) width.
+    #[inline]
+    fn enc_inner(&self, x: u64) -> u64 {
+        let mut l = (x >> self.half) & self.half_mask;
+        let mut r = x & self.half_mask;
+        for &k in self.keys.keys() {
+            let new_l = r ^ self.round(l, k);
+            r = l;
+            l = new_l;
+        }
+        (l << self.half) | r
+    }
+
+    /// One inverse pass (stages in reverse order) over the inner width.
+    #[inline]
+    fn dec_inner(&self, y: u64) -> u64 {
+        let mut l = (y >> self.half) & self.half_mask;
+        let mut r = y & self.half_mask;
+        for &k in self.keys.keys().iter().rev() {
+            // Forward stage was (l, r) -> (r ^ F(l), l): invert it.
+            let old_l = r;
+            let old_r = l ^ self.round(old_l, k);
+            l = old_l;
+            r = old_r;
+        }
+        (l << self.half) | r
+    }
+}
+
+impl AddressPermutation for FeistelNetwork {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn encrypt(&self, x: u64) -> u64 {
+        debug_assert!(x < self.domain_size());
+        if self.inner_width == self.width {
+            return self.enc_inner(x);
+        }
+        // Cycle-walk the one-bit-wider permutation until the image lands
+        // back in the external domain. Expected two iterations.
+        let limit = self.domain_size();
+        let mut v = self.enc_inner(x);
+        while v >= limit {
+            v = self.enc_inner(v);
+        }
+        v
+    }
+
+    fn decrypt(&self, y: u64) -> u64 {
+        debug_assert!(y < self.domain_size());
+        if self.inner_width == self.width {
+            return self.dec_inner(y);
+        }
+        let limit = self.domain_size();
+        let mut v = self.dec_inner(y);
+        while v >= limit {
+            v = self.dec_inner(v);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_permutation<P: AddressPermutation>(p: &P) {
+        let n = p.domain_size();
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = p.encrypt(x);
+            assert!(y < n, "image {y} out of domain for input {x}");
+            assert!(!seen[y as usize], "collision at image {y}");
+            seen[y as usize] = true;
+            assert_eq!(p.decrypt(y), x, "decrypt(encrypt({x})) != {x}");
+        }
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let p = IdentityPermutation::new(6);
+        for x in 0..64 {
+            assert_eq!(p.encrypt(x), x);
+            assert_eq!(p.decrypt(x), x);
+        }
+    }
+
+    #[test]
+    fn feistel_even_width_is_permutation() {
+        for stages in [1, 3, 7] {
+            for seed in 0..4 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = FeistelNetwork::random(&mut rng, 8, stages);
+                assert_permutation(&net);
+            }
+        }
+    }
+
+    #[test]
+    fn feistel_odd_width_is_permutation() {
+        for stages in [2, 5] {
+            for seed in 0..4 {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = FeistelNetwork::random(&mut rng, 9, stages);
+                assert_permutation(&net);
+            }
+        }
+    }
+
+    #[test]
+    fn feistel_large_width_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let net = FeistelNetwork::random(&mut rng, 22, 7);
+        for x in [0u64, 1, 12345, (1 << 22) - 1, 0x2AAAAA] {
+            assert_eq!(net.decrypt(net.encrypt(x)), x);
+        }
+    }
+
+    #[test]
+    fn different_keys_usually_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = FeistelNetwork::random(&mut rng, 16, 3);
+        let b = FeistelNetwork::random(&mut rng, 16, 3);
+        let differs = (0u64..1 << 16).any(|x| a.encrypt(x) != b.encrypt(x));
+        assert!(differs, "two independently keyed networks were identical");
+    }
+
+    #[test]
+    fn single_stage_matches_formula() {
+        // One stage over 8 bits: (L,R) -> (R ^ (L^K)^3 mod 16, L).
+        let keys = KeyArray::from_keys(vec![0b1010]);
+        let net = FeistelNetwork::new(8, keys);
+        let x = 0b1101_0110u64; // L = 1101, R = 0110
+        let l = 0b1101u64;
+        let r = 0b0110u64;
+        let f = ((l ^ 0b1010).pow(3)) & 0xF;
+        let expected = ((r ^ f) << 4) | l;
+        assert_eq!(net.encrypt(x), expected);
+    }
+
+    #[test]
+    fn key_array_stage_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ka = KeyArray::random(&mut rng, 6, 11);
+        assert_eq!(ka.stages(), 6);
+        assert!(ka.keys().iter().all(|&k| k < (1 << 11)));
+    }
+}

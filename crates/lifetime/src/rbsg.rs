@@ -1,0 +1,141 @@
+//! Lifetime of Region-Based Start-Gap under RAA and RTA (Fig. 11).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srbsg_attacks::RtaRbsg;
+use srbsg_pcm::MemoryController;
+use srbsg_wearlevel::Rbsg;
+
+use crate::{Lifetime, PcmParams};
+
+/// Closed form for RAA on a Start-Gap region.
+///
+/// The hammered line resides on one slot for a *visit* of `n_r·ψ` writes,
+/// then advances; each slot hosts it once per `n_r+1` visits (one
+/// *slot-cycle* of `(n_r+1)·n_r·ψ` writes), and gap movements add `n_r`
+/// background writes per slot per cycle. Wear per slot therefore grows in
+/// a staircase of `n_r·(ψ+1)` per cycle, and the first slot to take its
+/// fatal visit fails at
+///
+/// ```text
+/// writes ≈ floor((E−1)/(n_r(ψ+1))) · (n_r+1)·n_r·ψ + remainder
+/// ```
+pub fn rbsg_raa_writes(region_lines: u64, interval: u64, endurance: u64) -> u128 {
+    let n_r = region_lines as u128;
+    let psi = interval as u128;
+    let e = endurance as u128;
+    let per_cycle_wear = n_r * (psi + 1);
+    let cycle_writes = (n_r + 1) * n_r * psi;
+    let full = e.saturating_sub(1) / per_cycle_wear;
+    let remainder = (e - full * per_cycle_wear).min(n_r * psi);
+    full * cycle_writes + remainder
+}
+
+/// RAA lifetime of RBSG (closed form + timing).
+///
+/// Time per write: the demand SET write plus the amortized remap movement
+/// (one movement per ψ writes, almost always moving ALL-0 data at
+/// read+RESET cost; once per lap it moves the attacker's ALL-1 line).
+pub fn rbsg_raa_lifetime(params: &PcmParams, regions: u64, interval: u64) -> Lifetime {
+    let n_r = params.lines / regions;
+    let writes = rbsg_raa_writes(n_r, interval, params.endurance);
+    let t = params.timing;
+    let demand = t.set_ns as f64;
+    let mv0 = (t.read_ns + t.reset_ns) as f64;
+    let mv1 = (t.read_ns + t.set_ns) as f64;
+    // Per lap: n_r movements of ALL-0 lines, one of the ALL-1 line.
+    let mv_avg = (mv0 * n_r as f64 + mv1) / (n_r as f64 + 1.0);
+    let per_write = demand + t.translation_ns as f64 + mv_avg / interval as f64;
+    Lifetime {
+        writes,
+        ns: (writes as f64 * per_write) as u128,
+    }
+}
+
+/// RTA lifetime of RBSG: runs the *actual* attack from `srbsg-attacks`
+/// end-to-end (detection through timing observations, then the wear loop).
+/// Tractable even at paper scale: detection is ~10^8 individual writes and
+/// the wear phase advances in O(remap events).
+pub fn rbsg_rta_lifetime(params: &PcmParams, regions: u64, interval: u64, seed: u64) -> Lifetime {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wl = Rbsg::with_feistel(&mut rng, params.width(), regions, interval);
+    let mut mc = MemoryController::new(wl, params.endurance, params.timing);
+    let report = RtaRbsg {
+        regions,
+        interval,
+        li: 0,
+    }
+    .run(&mut mc, u128::MAX >> 1);
+    assert!(
+        report.outcome.failed_memory,
+        "RTA must fail an RBSG bank (regions={regions}, interval={interval})"
+    );
+    Lifetime {
+        ns: report.outcome.elapsed_ns,
+        writes: report.outcome.attack_writes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_attacks::RepeatedAddressAttack;
+    use srbsg_pcm::TimingModel;
+
+    /// The closed form must match the exact simulation.
+    #[test]
+    fn raa_closed_form_matches_exact_simulation() {
+        for (width, regions, interval, endurance) in
+            [(6u32, 1u64, 4u64, 2_000u64), (7, 2, 8, 1_000), (5, 4, 3, 800)]
+        {
+            let params = PcmParams::small(width, endurance);
+            let mut rng = StdRng::seed_from_u64(3);
+            let wl = Rbsg::with_feistel(&mut rng, width, regions, interval);
+            let mut mc = MemoryController::new(wl, endurance, TimingModel::PAPER);
+            let out = RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);
+            assert!(out.failed_memory);
+
+            let predicted = rbsg_raa_lifetime(&params, regions, interval);
+            let ratio = out.attack_writes as f64 / predicted.writes as f64;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "w={width} r={regions} ψ={interval}: exact {} vs closed {} (ratio {ratio})",
+                out.attack_writes,
+                predicted.writes
+            );
+            let t_ratio = out.elapsed_ns as f64 / predicted.ns as f64;
+            assert!(
+                (0.85..1.15).contains(&t_ratio),
+                "time ratio {t_ratio} out of envelope"
+            );
+        }
+    }
+
+    #[test]
+    fn rta_much_faster_than_raa_at_moderate_scale() {
+        let params = PcmParams::small(10, 100_000);
+        let raa = rbsg_raa_lifetime(&params, 4, 8);
+        let rta = rbsg_rta_lifetime(&params, 4, 8, 1);
+        assert!(
+            rta.ns * 3 < raa.ns,
+            "RTA {} s vs RAA {} s",
+            rta.secs(),
+            raa.secs()
+        );
+    }
+
+    #[test]
+    fn rta_lifetime_decreases_with_more_regions() {
+        // Paper Fig. 11 observation 1: more regions → fewer lines per
+        // region → faster detection and faster wear-out.
+        let params = PcmParams::small(12, 200_000);
+        let few = rbsg_rta_lifetime(&params, 4, 8, 2);
+        let many = rbsg_rta_lifetime(&params, 16, 8, 2);
+        assert!(
+            many.ns < few.ns,
+            "16 regions {} s should beat 4 regions {} s",
+            many.secs(),
+            few.secs()
+        );
+    }
+}

@@ -1,0 +1,428 @@
+//! Lifetime of Security RBSG under RAA, BPA, and RTA at paper scale
+//! (Figs. 14–16).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_attacks::detection_margin;
+use srbsg_feistel::{AddressPermutation, FeistelNetwork};
+
+use crate::{Lifetime, PcmParams};
+
+/// Configuration of the Security RBSG lifetime engines (mirrors
+/// `srbsg_core::SecurityRbsgConfig` without depending on controller state).
+#[derive(Debug, Clone, Copy)]
+pub struct SrbsgParams {
+    /// Sub-regions `R`.
+    pub sub_regions: u64,
+    /// Inner Start-Gap interval ψ_in.
+    pub inner_interval: u64,
+    /// Outer DFN interval ψ_out.
+    pub outer_interval: u64,
+    /// DFN stages `S`.
+    pub stages: usize,
+}
+
+impl SrbsgParams {
+    /// The paper's recommended configuration.
+    pub fn paper_default() -> Self {
+        Self {
+            sub_regions: 512,
+            inner_interval: 64,
+            outer_interval: 128,
+            stages: 7,
+        }
+    }
+}
+
+/// Round-level RAA engine.
+///
+/// Per outer DFN round the hammered LA maps to `ENC_Kp(la)` until its
+/// remap point (≈ uniformly placed within the round) and `ENC_Kc(la)`
+/// after — two sub-region *stays* per round, with the keys drawn as real
+/// Feistel networks so any non-uniformity of few-stage networks shows up
+/// in the visit statistics. Within a stay, the inner Start-Gap parks the
+/// line on one slot per rotation lap (`(n_r+1)·ψ_in` writes) and then
+/// advances it to the next slot, so wear lands in runs of consecutive
+/// slots starting at the line's (key-random) entry slot. First-failure
+/// statistics are dominated by these lap-sized deposit quanta, which the
+/// engine preserves exactly.
+struct RaaEngine {
+    params: PcmParams,
+    cfg: SrbsgParams,
+    rng: SmallRng,
+    /// Hammer-deposit wear per slot; slot index = region * (n_r+1) + offset.
+    wear: Vec<u32>,
+    /// Inner gap-rotation background writes per sub-region (one write per
+    /// slot per lap of remap traffic).
+    background: Vec<u32>,
+    enc_p: FeistelNetwork,
+    total_writes: u128,
+    failed: bool,
+    la: u64,
+}
+
+impl RaaEngine {
+    fn new(params: PcmParams, cfg: SrbsgParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let enc_p = FeistelNetwork::random(&mut rng, params.width(), cfg.stages);
+        let n_r = params.lines / cfg.sub_regions;
+        let slots = (cfg.sub_regions * (n_r + 1)) as usize;
+        Self {
+            params,
+            cfg,
+            rng,
+            wear: vec![0; slots],
+            background: vec![0; cfg.sub_regions as usize],
+            enc_p,
+            total_writes: 0,
+            failed: false,
+            la: 0,
+        }
+    }
+
+    fn n_r(&self) -> u64 {
+        self.params.lines / self.cfg.sub_regions
+    }
+
+    /// Deposit `writes` hammer writes into `region`, spreading them in
+    /// lap-sized quanta over consecutive slots from a random entry point.
+    fn deposit_stay(&mut self, region: u64, mut writes: u64) {
+        let n_r = self.n_r();
+        let slots = n_r + 1;
+        let lap = slots * self.cfg.inner_interval;
+        let mut slot = self.rng.random_range(0..slots);
+        let e = self.params.endurance;
+        while writes > 0 && !self.failed {
+            let deposit = writes.min(lap);
+            let idx = (region * slots + slot) as usize;
+            self.wear[idx] += deposit as u32;
+            self.total_writes += deposit as u128;
+            if deposit == lap {
+                // A full lap of remap traffic rewrites one line per slot.
+                self.background[region as usize] += 1;
+            }
+            if self.wear[idx] as u64 + self.background[region as usize] as u64 >= e {
+                self.failed = true;
+            }
+            writes -= deposit;
+            slot = (slot + 1) % slots;
+        }
+    }
+
+    /// Advance one outer DFN round; returns false once the bank failed.
+    fn round(&mut self) -> bool {
+        if self.failed {
+            return false;
+        }
+        let n = self.params.lines;
+        let n_r = self.n_r();
+        let round_writes = n * self.cfg.outer_interval;
+        // Fresh current-round keys; la flips from the enc_p image to the
+        // enc_c image at a uniformly random point of the round (gap-chase
+        // order is key-random).
+        let enc_c = FeistelNetwork::random(&mut self.rng, self.params.width(), self.cfg.stages);
+        let ia_p = self.enc_p.encrypt(self.la);
+        let ia_c = enc_c.encrypt(self.la);
+        let flip = self.rng.random_range(0.0..1.0f64);
+        let mut w1 = (round_writes as f64 * flip) as u64;
+        let mut w2 = round_writes - w1;
+        // Parking: while the hammered LA heads the cycle being migrated,
+        // its writes land in the SRAM-backed spare and wear nothing. Cycle
+        // lengths of the round permutation are modeled as uniform on 1..=N
+        // and the LA heads its cycle with probability 1/len.
+        let cycle_len = self.rng.random_range(1..=n);
+        if self.rng.random_range(0..cycle_len) == 0 {
+            let parked_writes = (cycle_len * self.cfg.outer_interval).min(round_writes);
+            let taken1 = w1.min(parked_writes);
+            w1 -= taken1;
+            w2 -= (parked_writes - taken1).min(w2);
+            self.total_writes += parked_writes as u128;
+        }
+        self.deposit_stay(ia_p / n_r, w1);
+        self.deposit_stay(ia_c / n_r, w2);
+        self.enc_p = enc_c;
+        !self.failed
+    }
+
+    fn lifetime(mut self) -> Lifetime {
+        while self.round() {}
+        finish(&self.params, &self.cfg, self.total_writes)
+    }
+}
+
+/// Convert a write count into a [`Lifetime`] with the scheme's amortized
+/// remap overhead: one inner move per ψ_in region writes, one outer move
+/// per ψ_out bank writes.
+fn finish(params: &PcmParams, cfg: &SrbsgParams, writes: u128) -> Lifetime {
+    let t = params.timing;
+    // Demand writes are attacker SETs; movements mostly move mixed/set
+    // data (read + SET).
+    let mv = (t.read_ns + t.set_ns) as f64;
+    let per_write = (t.set_ns + t.translation_ns) as f64
+        + mv / cfg.inner_interval as f64
+        + mv / cfg.outer_interval as f64;
+    Lifetime {
+        writes,
+        ns: (writes as f64 * per_write) as u128,
+    }
+}
+
+/// RAA lifetime of Security RBSG (Figs. 14 & 15).
+pub fn srbsg_raa_lifetime(params: &PcmParams, cfg: &SrbsgParams, seed: u64) -> Lifetime {
+    RaaEngine::new(*params, *cfg, seed).lifetime()
+}
+
+/// Per-line wear after `total_writes` RAA writes — the data behind Fig. 16.
+/// Returns the hammer+background wear of every physical slot.
+pub fn srbsg_raa_wear_distribution(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    total_writes: u128,
+    seed: u64,
+) -> Vec<u64> {
+    let mut eng = RaaEngine::new(*params, *cfg, seed);
+    // Disable failure so the distribution keeps accumulating.
+    let saved_e = eng.params.endurance;
+    eng.params.endurance = u64::MAX;
+    while eng.total_writes < total_writes {
+        eng.round();
+    }
+    eng.params.endurance = saved_e;
+    let n_r = params.lines / cfg.sub_regions;
+    let slots = n_r + 1;
+    eng.wear
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| w as u64 + eng.background[i / slots as usize] as u64)
+        .collect()
+}
+
+/// BPA lifetime of Security RBSG (Fig. 14).
+///
+/// Each visit hammers a random address until its line is observed to move
+/// (read+SET spike): under the inner Start-Gap that takes at most one
+/// rotation lap, uniformly distributed over the entry phase. Deposits land
+/// on key-random slots.
+pub fn srbsg_bpa_lifetime(params: &PcmParams, cfg: &SrbsgParams, seed: u64) -> Lifetime {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_r = params.lines / cfg.sub_regions;
+    let slots_per_region = n_r + 1;
+    let lap = slots_per_region * cfg.inner_interval;
+    let total_slots = (cfg.sub_regions * slots_per_region) as usize;
+    let mut wear: Vec<u32> = vec![0; total_slots];
+    let e = params.endurance;
+    let mut total_writes: u128 = 0;
+    loop {
+        // Visit: deposit up to one lap at a uniform phase.
+        let deposit = rng.random_range(1..=lap);
+        let slot = rng.random_range(0..total_slots as u64) as usize;
+        wear[slot] += deposit as u32;
+        total_writes += deposit as u128;
+        if wear[slot] as u64 >= e {
+            break;
+        }
+    }
+    finish(params, cfg, total_writes)
+}
+
+/// Closed-form BPA lifetime via extreme-value statistics, for paper-scale
+/// sweeps where the visit-by-visit engine is too slow.
+///
+/// Visits deposit `U(1..=lap)` wear on uniform slots: per-slot wear is
+/// compound Poisson with mean `λμ` and variance `λ·lap²/3`; the first
+/// failure is where the max over `M` slots reaches `E`, approximated with
+/// the usual `√(2 ln M)` Gaussian-max factor.
+pub fn srbsg_bpa_lifetime_analytic(params: &PcmParams, cfg: &SrbsgParams) -> Lifetime {
+    let n_r = params.lines / cfg.sub_regions;
+    let lap = ((n_r + 1) * cfg.inner_interval) as f64;
+    let m = (cfg.sub_regions * (n_r + 1)) as f64;
+    let e = params.endurance as f64;
+    let mu = lap / 2.0;
+    let c = (2.0 * m.ln()).sqrt();
+    // Solve a·λ + b·√λ = E for λ (per-slot visit rate at failure).
+    let a = mu;
+    let b = c * lap / 3f64.sqrt();
+    let sqrt_lambda = ((b * b + 4.0 * a * e).sqrt() - b) / (2.0 * a);
+    let lambda = sqrt_lambda * sqrt_lambda;
+    let total = lambda * m * mu;
+    finish(params, cfg, total as u128)
+}
+
+/// RTA lifetime of Security RBSG.
+///
+/// When the key array outlives the observation window
+/// ([`detection_margin`] > 1, i.e. `S·B > ψ_out`), the timing channel
+/// yields nothing durable and the attack degenerates to RAA. Otherwise the
+/// attacker can track the mapping and grind one sub-region, as against
+/// two-level SR.
+pub fn srbsg_rta_lifetime(params: &PcmParams, cfg: &SrbsgParams, seed: u64) -> Lifetime {
+    if detection_margin(params.width(), cfg.outer_interval, cfg.stages as u64) > 1.0 {
+        return srbsg_raa_lifetime(params, cfg, seed);
+    }
+    // Keys are recoverable within a round: the attacker pours each round's
+    // writes (minus detection) into one tracked sub-region.
+    let n = params.lines as f64;
+    let n_r = (params.lines / cfg.sub_regions) as f64;
+    let b = params.width() as f64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let round_writes = n * cfg.outer_interval as f64;
+    let mut wear = 0.0f64;
+    let mut total = 0.0f64;
+    while wear < params.endurance as f64 {
+        let detection = cfg.stages as f64 * b * (n / cfg.sub_regions as f64)
+            * rng.random_range(0.5..1.0);
+        let hammer = (round_writes - detection).max(0.0);
+        wear += hammer / n_r;
+        total += round_writes;
+    }
+    finish(params, cfg, total as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_attacks::RepeatedAddressAttack;
+    use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+    use srbsg_pcm::MemoryController;
+
+    fn small_cfg() -> SrbsgParams {
+        SrbsgParams {
+            sub_regions: 8,
+            inner_interval: 4,
+            outer_interval: 8,
+            stages: 5,
+        }
+    }
+
+    /// Round-level RAA engine vs exact simulation at small scale.
+    #[test]
+    fn raa_engine_matches_exact_simulation() {
+        let params = PcmParams::small(10, 30_000);
+        let cfg = small_cfg();
+
+        let mut exact = Vec::new();
+        for seed in 0..3u64 {
+            let scheme = SecurityRbsg::new(SecurityRbsgConfig {
+                width: 10,
+                sub_regions: cfg.sub_regions,
+                inner_interval: cfg.inner_interval,
+                outer_interval: cfg.outer_interval,
+                stages: cfg.stages,
+                seed,
+            });
+            let mut mc = MemoryController::new(scheme, params.endurance, params.timing);
+            let out = RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);
+            assert!(out.failed_memory);
+            exact.push(out.attack_writes as f64);
+        }
+        let exact_avg = exact.iter().sum::<f64>() / exact.len() as f64;
+
+        let mut ff = Vec::new();
+        for seed in 0..5u64 {
+            ff.push(srbsg_raa_lifetime(&params, &cfg, seed).writes as f64);
+        }
+        let ff_avg = ff.iter().sum::<f64>() / ff.len() as f64;
+        let ratio = ff_avg / exact_avg;
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "fast-forward {ff_avg} vs exact {exact_avg} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn raa_achieves_large_fraction_of_ideal() {
+        // Fig. 14: Security RBSG under RAA reaches a healthy fraction of
+        // the ideal lifetime (the paper reports 67.2% at 7 stages).
+        let params = PcmParams::small(16, 1_000_000);
+        let cfg = SrbsgParams {
+            sub_regions: 64,
+            inner_interval: 64,
+            outer_interval: 128,
+            stages: 7,
+        };
+        let ideal = params.ideal_lifetime().writes as f64;
+        let raa = srbsg_raa_lifetime(&params, &cfg, 1).writes as f64;
+        let frac = raa / ideal;
+        assert!((0.3..1.0).contains(&frac), "RAA fraction of ideal: {frac}");
+    }
+
+    #[test]
+    fn bpa_is_insensitive_to_stages() {
+        // Fig. 14: BPA already randomizes its addresses, so the stage
+        // count barely matters.
+        let params = PcmParams::small(14, 200_000);
+        let mut cfg = small_cfg();
+        cfg.stages = 3;
+        let l3 = srbsg_bpa_lifetime(&params, &cfg, 7);
+        cfg.stages = 20;
+        let l20 = srbsg_bpa_lifetime(&params, &cfg, 7);
+        let ratio = l3.ns as f64 / l20.ns as f64;
+        assert!((0.7..1.4).contains(&ratio), "BPA stage ratio {ratio}");
+    }
+
+    #[test]
+    fn rta_reduces_to_raa_when_margin_holds() {
+        let params = PcmParams::small(16, 500_000);
+        let cfg = SrbsgParams {
+            sub_regions: 64,
+            inner_interval: 16,
+            outer_interval: 32,
+            stages: 7, // 7·16 = 112 > 32 → margin holds
+        };
+        let rta = srbsg_rta_lifetime(&params, &cfg, 3);
+        let raa = srbsg_raa_lifetime(&params, &cfg, 3);
+        assert_eq!(rta.writes, raa.writes);
+    }
+
+    #[test]
+    fn insufficient_stages_leave_rta_effective() {
+        let params = PcmParams::small(16, 5_000_000);
+        let cfg = SrbsgParams {
+            sub_regions: 64,
+            inner_interval: 16,
+            outer_interval: 128,
+            stages: 2, // 2·16 = 32 < 128 → keys recoverable
+        };
+        let rta = srbsg_rta_lifetime(&params, &cfg, 3);
+        let raa = srbsg_raa_lifetime(&params, &cfg, 3);
+        assert!(
+            rta.ns * 3 < raa.ns,
+            "under-provisioned DFN should fall to RTA: rta {} raa {}",
+            rta.ns,
+            raa.ns
+        );
+    }
+
+    #[test]
+    fn bpa_analytic_tracks_the_engine() {
+        let params = PcmParams::small(14, 300_000);
+        let cfg = small_cfg();
+        let engine: f64 = (0..3)
+            .map(|s| srbsg_bpa_lifetime(&params, &cfg, s).writes as f64)
+            .sum::<f64>()
+            / 3.0;
+        let analytic = srbsg_bpa_lifetime_analytic(&params, &cfg).writes as f64;
+        let ratio = analytic / engine;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "analytic {analytic} vs engine {engine} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn wear_distribution_flattens_with_more_writes() {
+        // Fig. 16: the normalized cumulative wear curve approaches the
+        // diagonal as writes accumulate.
+        let params = PcmParams::small(12, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let few = srbsg_raa_wear_distribution(&params, &cfg, 1 << 22, 5);
+        let many = srbsg_raa_wear_distribution(&params, &cfg, 1 << 28, 5);
+        let g_few = srbsg_pcm::gini_coefficient(&few);
+        let g_many = srbsg_pcm::gini_coefficient(&many);
+        assert!(
+            g_many < g_few,
+            "more writes should even out wear: gini {g_few} -> {g_many}"
+        );
+        assert!(g_many < 0.2, "long-run wear should be near-uniform: {g_many}");
+    }
+}

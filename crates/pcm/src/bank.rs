@@ -1,0 +1,317 @@
+//! The PCM bank: per-line data, wear, endurance, and failure tracking.
+
+use crate::{LineAddr, LineData, Ns, TimingModel};
+
+/// Details of the first line to exceed its write endurance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureInfo {
+    /// Physical slot of the worn-out line.
+    pub slot: LineAddr,
+    /// Total line writes the bank had absorbed when the failure occurred.
+    pub at_write: u128,
+}
+
+/// A PCM memory bank of `slots` lines.
+///
+/// Wear and data are stored as parallel arrays (structure-of-arrays) so a
+/// paper-scale bank (2^22 + spares lines) costs ~40 MB. All writes go
+/// through [`PcmBank::write_line`] / bulk variants so wear accounting and
+/// failure detection are uniform for demand traffic and remap traffic alike.
+#[derive(Debug, Clone)]
+pub struct PcmBank {
+    wear: Vec<u64>,
+    data: Vec<LineData>,
+    endurance: u64,
+    timing: TimingModel,
+    total_writes: u128,
+    failure: Option<FailureInfo>,
+    /// Slot backed by controller SRAM instead of PCM: unlimited endurance,
+    /// SRAM access latency. Used for the Security RBSG spare (see the
+    /// design note in `srbsg-core` about the cubing round function's cycle
+    /// structure).
+    sram_slot: Option<LineAddr>,
+}
+
+impl PcmBank {
+    /// Create a bank of `slots` lines with the given per-line write
+    /// `endurance`, all initialized to ALL-0 data and zero wear.
+    pub fn new(slots: u64, endurance: u64, timing: TimingModel) -> Self {
+        assert!(slots > 0, "bank must have at least one line");
+        assert!(endurance > 0, "endurance must be positive");
+        Self {
+            wear: vec![0; slots as usize],
+            data: vec![LineData::Zeros; slots as usize],
+            endurance,
+            timing,
+            total_writes: 0,
+            failure: None,
+            sram_slot: None,
+        }
+    }
+
+    /// Back `slot` with controller SRAM: its writes cost SRAM latency and
+    /// never wear out. At most one slot per bank.
+    pub fn mark_sram(&mut self, slot: LineAddr) {
+        assert!(slot < self.slots());
+        self.sram_slot = Some(slot);
+    }
+
+    /// The SRAM-backed slot, if any.
+    pub fn sram_slot(&self) -> Option<LineAddr> {
+        self.sram_slot
+    }
+
+    #[inline]
+    fn is_sram(&self, slot: LineAddr) -> bool {
+        self.sram_slot == Some(slot)
+    }
+
+    /// Number of physical line slots.
+    #[inline]
+    pub fn slots(&self) -> u64 {
+        self.wear.len() as u64
+    }
+
+    /// Per-line write endurance.
+    #[inline]
+    pub fn endurance(&self) -> u64 {
+        self.endurance
+    }
+
+    /// The timing model in force.
+    #[inline]
+    pub fn timing(&self) -> &TimingModel {
+        &self.timing
+    }
+
+    /// Total line writes absorbed (demand + remap).
+    #[inline]
+    pub fn total_writes(&self) -> u128 {
+        self.total_writes
+    }
+
+    /// The first endurance violation, if any.
+    #[inline]
+    pub fn failure(&self) -> Option<FailureInfo> {
+        self.failure
+    }
+
+    /// Whether any line has worn out.
+    #[inline]
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+
+    /// Read the data stored at `slot`.
+    #[inline]
+    pub fn read_line(&self, slot: LineAddr) -> LineData {
+        self.data[slot as usize]
+    }
+
+    /// Current wear (write count) of `slot`.
+    #[inline]
+    pub fn wear_of(&self, slot: LineAddr) -> u64 {
+        self.wear[slot as usize]
+    }
+
+    /// All per-slot wear counters.
+    #[inline]
+    pub fn wear(&self) -> &[u64] {
+        &self.wear
+    }
+
+    #[inline]
+    fn record_wear(&mut self, slot: LineAddr, amount: u64) {
+        let w = &mut self.wear[slot as usize];
+        *w += amount;
+        self.total_writes += amount as u128;
+        if *w >= self.endurance && self.failure.is_none() {
+            // For bulk updates, attribute the failure to the exact write at
+            // which the line hit its endurance, not the end of the batch.
+            let overshoot = (*w - self.endurance) as u128;
+            self.failure = Some(FailureInfo {
+                slot,
+                at_write: self.total_writes - overshoot,
+            });
+        }
+    }
+
+    /// Write `new` to `slot`, returning the write latency.
+    ///
+    /// Under data-comparison writes, a write of identical data costs only
+    /// the comparison read and adds no wear.
+    pub fn write_line(&mut self, slot: LineAddr, new: LineData) -> Ns {
+        if self.is_sram(slot) {
+            self.data[slot as usize] = new;
+            return self.timing.sram_ns as Ns;
+        }
+        let old = self.data[slot as usize];
+        let latency = self.timing.write_latency(old, new);
+        let unchanged = self.timing.data_comparison_write && old == new;
+        self.data[slot as usize] = new;
+        if !unchanged {
+            self.record_wear(slot, 1);
+        }
+        latency
+    }
+
+    /// Read `slot`, returning `(data, latency)`.
+    #[inline]
+    pub fn read_line_timed(&self, slot: LineAddr) -> (LineData, Ns) {
+        let lat = if self.is_sram(slot) {
+            self.timing.sram_ns as Ns
+        } else {
+            self.timing.read_latency()
+        };
+        (self.data[slot as usize], lat)
+    }
+
+    /// Remap movement: copy the data at `src` into `dst` (read + write).
+    /// The source keeps its (now stale) contents, as in Start-Gap.
+    pub fn move_line(&mut self, src: LineAddr, dst: LineAddr) -> Ns {
+        let (data, read_lat) = self.read_line_timed(src);
+        read_lat + self.write_line(dst, data)
+    }
+
+    /// Remap swap: exchange the contents of `a` and `b` (two reads, two
+    /// writes), as in Security Refresh.
+    pub fn swap_lines(&mut self, a: LineAddr, b: LineAddr) -> Ns {
+        let (da, r1) = self.read_line_timed(a);
+        let (db, r2) = self.read_line_timed(b);
+        r1 + r2 + self.write_line(a, db) + self.write_line(b, da)
+    }
+
+    /// Fast-forward API: absorb `count` consecutive writes of `new` to
+    /// `slot` as one bulk update, returning the total latency. Semantically
+    /// identical to calling [`PcmBank::write_line`] `count` times with the
+    /// same data.
+    pub fn write_line_bulk(&mut self, slot: LineAddr, new: LineData, count: u64) -> Ns {
+        if count == 0 {
+            return 0;
+        }
+        if self.is_sram(slot) {
+            self.data[slot as usize] = new;
+            return self.timing.sram_ns as Ns * count as Ns;
+        }
+        let old = self.data[slot as usize];
+        // First write transitions old→new, the rest rewrite new over new.
+        let first = self.timing.write_latency(old, new);
+        let rest = self.timing.write_latency(new, new) * (count - 1) as Ns;
+        self.data[slot as usize] = new;
+        if self.timing.data_comparison_write {
+            // Only the first write (if it changed anything) wears the line.
+            if old != new {
+                self.record_wear(slot, 1);
+            }
+        } else {
+            self.record_wear(slot, count);
+        }
+        first + rest
+    }
+
+    /// Fast-forward API: add raw wear to a slot without touching data or
+    /// time. Used by round-level lifetime engines that account latency
+    /// analytically.
+    pub fn add_wear(&mut self, slot: LineAddr, amount: u64) {
+        self.record_wear(slot, amount);
+    }
+
+    /// Highest per-line wear in the bank.
+    pub fn max_wear(&self) -> u64 {
+        self.wear.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(slots: u64, endurance: u64) -> PcmBank {
+        PcmBank::new(slots, endurance, TimingModel::PAPER)
+    }
+
+    #[test]
+    fn write_latency_asymmetry() {
+        let mut b = bank(4, 100);
+        assert_eq!(b.write_line(0, LineData::Zeros), 125);
+        assert_eq!(b.write_line(0, LineData::Ones), 1000);
+        assert_eq!(b.write_line(0, LineData::Mixed(7)), 1000);
+    }
+
+    #[test]
+    fn wear_accumulates_and_fails() {
+        let mut b = bank(2, 3);
+        b.write_line(1, LineData::Ones);
+        b.write_line(1, LineData::Ones);
+        assert!(!b.failed());
+        b.write_line(1, LineData::Ones);
+        assert!(b.failed());
+        let f = b.failure().unwrap();
+        assert_eq!(f.slot, 1);
+        assert_eq!(f.at_write, 3);
+    }
+
+    #[test]
+    fn bulk_write_matches_sequential() {
+        let mut a = bank(2, 1_000);
+        let mut b = bank(2, 1_000);
+        let mut lat_a = 0;
+        for _ in 0..17 {
+            lat_a += a.write_line(0, LineData::Ones);
+        }
+        let lat_b = b.write_line_bulk(0, LineData::Ones, 17);
+        assert_eq!(lat_a, lat_b);
+        assert_eq!(a.wear_of(0), b.wear_of(0));
+        assert_eq!(a.read_line(0), b.read_line(0));
+        assert_eq!(a.total_writes(), b.total_writes());
+    }
+
+    #[test]
+    fn bulk_write_first_transition_latency() {
+        let mut b = bank(1, 100);
+        b.write_line(0, LineData::Ones);
+        // ALL-1 → ALL-0 then two ALL-0 rewrites: 125 * 3.
+        assert_eq!(b.write_line_bulk(0, LineData::Zeros, 3), 375);
+    }
+
+    #[test]
+    fn move_and_swap_latency_signatures() {
+        let mut b = bank(4, 100);
+        b.write_line(0, LineData::Ones);
+        b.write_line(1, LineData::Zeros);
+        // Moving ALL-1 data: read(125) + SET(1000).
+        assert_eq!(b.move_line(0, 2), 1125);
+        assert_eq!(b.read_line(2), LineData::Ones);
+        // Moving ALL-0 data: read(125) + RESET(125).
+        assert_eq!(b.move_line(1, 3), 250);
+        // Swap ALL-1 with ALL-0: 2 reads + SET + RESET = 1375.
+        assert_eq!(b.swap_lines(2, 3), 1375);
+        assert_eq!(b.read_line(2), LineData::Zeros);
+        assert_eq!(b.read_line(3), LineData::Ones);
+    }
+
+    #[test]
+    fn dcw_identical_write_adds_no_wear() {
+        let timing = TimingModel {
+            data_comparison_write: true,
+            ..TimingModel::PAPER
+        };
+        let mut b = PcmBank::new(1, 10, timing);
+        b.write_line(0, LineData::Zeros);
+        assert_eq!(b.wear_of(0), 0);
+        b.write_line(0, LineData::Ones);
+        assert_eq!(b.wear_of(0), 1);
+        let lat = b.write_line_bulk(0, LineData::Ones, 5);
+        assert_eq!(b.wear_of(0), 1);
+        assert_eq!(lat, 125 * 5);
+    }
+
+    #[test]
+    fn add_wear_triggers_failure() {
+        let mut b = bank(3, 50);
+        b.add_wear(2, 49);
+        assert!(!b.failed());
+        b.add_wear(2, 1);
+        assert_eq!(b.failure().unwrap().slot, 2);
+    }
+}

@@ -1,0 +1,364 @@
+//! The memory controller: couples a wear-leveling scheme with a bank and
+//! exposes the latency side channel.
+
+use crate::{LineAddr, LineData, Ns, PcmBank, TimingModel, WearLeveler};
+
+/// Outcome of one demand write, as observable by software.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResponse {
+    /// End-to-end service latency of this request in nanoseconds. Includes
+    /// any remap movements the request had to wait for — the RTA side
+    /// channel.
+    pub latency_ns: Ns,
+    /// Whether the bank has failed (some line exceeded its endurance) at or
+    /// before the completion of this request.
+    pub failed: bool,
+}
+
+/// A memory controller managing one PCM bank with one wear-leveling scheme.
+///
+/// Attack code is written strictly against [`MemoryController::write`],
+/// [`MemoryController::write_repeat`], and [`MemoryController::read`]: the
+/// latencies they return are the only side channel.
+#[derive(Debug, Clone)]
+pub struct MemoryController<W: WearLeveler> {
+    bank: PcmBank,
+    wl: W,
+    now: Ns,
+    demand_writes: u128,
+}
+
+impl<W: WearLeveler> MemoryController<W> {
+    /// Build a controller: allocates the bank the scheme requires.
+    pub fn new(wl: W, endurance: u64, timing: TimingModel) -> Self {
+        let mut bank = PcmBank::new(wl.physical_slots(), endurance, timing);
+        wl.init_bank(&mut bank);
+        Self {
+            bank,
+            wl,
+            now: 0,
+            demand_writes: 0,
+        }
+    }
+
+    /// Number of logical lines exposed to software.
+    pub fn logical_lines(&self) -> u64 {
+        self.wl.logical_lines()
+    }
+
+    /// Simulated wall-clock time.
+    pub fn now_ns(&self) -> Ns {
+        self.now
+    }
+
+    /// Simulated time in seconds.
+    pub fn now_secs(&self) -> f64 {
+        self.now as f64 * 1e-9
+    }
+
+    /// Demand writes serviced so far (excludes remap traffic).
+    pub fn demand_writes(&self) -> u128 {
+        self.demand_writes
+    }
+
+    /// Whether any line has worn out.
+    pub fn failed(&self) -> bool {
+        self.bank.failed()
+    }
+
+    /// The underlying bank (wear statistics, failure info).
+    pub fn bank(&self) -> &PcmBank {
+        &self.bank
+    }
+
+    /// The wear-leveling scheme (for white-box tests; attacks must not use
+    /// this).
+    pub fn scheme(&self) -> &W {
+        &self.wl
+    }
+
+    /// Mutable scheme access for white-box tests.
+    pub fn scheme_mut(&mut self) -> &mut W {
+        &mut self.wl
+    }
+
+    /// Current LA → physical-slot mapping (white-box; not used by attacks).
+    pub fn translate(&self, la: LineAddr) -> LineAddr {
+        self.wl.translate(la)
+    }
+
+    /// Advance the simulated clock without touching the bank (used by
+    /// front-end structures such as [`crate::BufferedController`] to account
+    /// latencies they absorb).
+    pub fn advance_clock(&mut self, ns: Ns) {
+        self.now += ns;
+    }
+
+    /// Service one demand write.
+    pub fn write(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
+        debug_assert!(la < self.wl.logical_lines());
+        let mut latency = self.bank.timing().translation_ns as Ns;
+        latency += self.wl.before_write(la, &mut self.bank);
+        let slot = self.wl.translate(la);
+        latency += self.bank.write_line(slot, data);
+        self.demand_writes += 1;
+        self.now += latency;
+        WriteResponse {
+            latency_ns: latency,
+            failed: self.bank.failed(),
+        }
+    }
+
+    /// Service one demand read.
+    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+        let slot = self.wl.translate(la);
+        let (data, mut latency) = self.bank.read_line_timed(slot);
+        latency += self.bank.timing().translation_ns as Ns;
+        self.now += latency;
+        (data, latency)
+    }
+
+    /// Service `count` consecutive writes of the same `data` to `la`,
+    /// batching the stretches between remap events into bulk wear updates.
+    ///
+    /// Semantically identical to an attacker loop that calls
+    /// [`MemoryController::write`] up to `count` times and stops on the
+    /// first failed response (asserted by property tests), but runs in
+    /// `O(remap events)`. Returns the response of the last write issued.
+    pub fn write_repeat(&mut self, la: LineAddr, data: LineData, count: u64) -> WriteResponse {
+        let mut remaining = count;
+        let mut last = WriteResponse {
+            latency_ns: 0,
+            failed: self.bank.failed(),
+        };
+        while remaining > 0 {
+            // Cap each bulk stretch at the writes needed to wear out the
+            // current slot, so the loop stops at the failing write exactly
+            // as a response-checking attacker would.
+            let to_fail = if self.bank.failed() {
+                remaining
+            } else {
+                let slot = self.wl.translate(la);
+                (self.bank.endurance() - self.bank.wear_of(slot)).max(1)
+            };
+            let quiet = self.wl.writes_until_remap(la).min(remaining).min(to_fail);
+            if quiet > 0 {
+                let slot = self.wl.translate(la);
+                let bulk_lat = self.bank.write_line_bulk(slot, data, quiet)
+                    + (self.bank.timing().translation_ns as Ns) * quiet as Ns;
+                self.wl.note_quiet_writes(la, quiet);
+                self.demand_writes += quiet as u128;
+                self.now += bulk_lat;
+                let per_write = if self.bank.sram_slot() == Some(slot) {
+                    self.bank.timing().sram_ns as Ns
+                } else {
+                    self.bank.timing().write_latency(data, data)
+                } + self.bank.timing().translation_ns as Ns;
+                last = WriteResponse {
+                    latency_ns: per_write,
+                    failed: self.bank.failed(),
+                };
+                remaining -= quiet;
+                if last.failed {
+                    break;
+                }
+            }
+            if remaining > 0 {
+                last = self.write(la, data);
+                remaining -= 1;
+            }
+            if last.failed {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Simulation-accelerated equivalent of the attacker loop
+    /// `loop { if write(la, data).latency_ns > threshold { break } }`.
+    ///
+    /// Issues writes of `data` to `la` until a response exceeds
+    /// `threshold_ns` (a remap-movement stall — the RTA observable) or
+    /// `max_writes` have been issued. Every write the attacker would issue
+    /// is fully accounted (wear, counters, simulated time); only the
+    /// per-iteration loop overhead is elided, using the scheme's quiet
+    /// window. Returns `(writes_issued, last_response)`; the caller can
+    /// tell a spike from exhaustion by comparing the last latency with the
+    /// threshold.
+    pub fn write_until_slow(
+        &mut self,
+        la: LineAddr,
+        data: LineData,
+        threshold_ns: Ns,
+        max_writes: u64,
+    ) -> (u64, WriteResponse) {
+        let mut issued = 0u64;
+        let mut last = WriteResponse {
+            latency_ns: 0,
+            failed: self.bank.failed(),
+        };
+        while issued < max_writes {
+            let quiet = self.wl.writes_until_remap(la).min(max_writes - issued);
+            if quiet > 0 {
+                last = self.write_repeat(la, data, quiet);
+                issued += quiet;
+                if last.failed {
+                    break;
+                }
+                // Quiet writes never stall; the plain write latency could
+                // still exceed an aggressive threshold.
+                if last.latency_ns > threshold_ns {
+                    break;
+                }
+            }
+            if issued < max_writes {
+                last = self.write(la, data);
+                issued += 1;
+                if last.latency_ns > threshold_ns || last.failed {
+                    break;
+                }
+            }
+        }
+        (issued, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal Start-Gap-like scheme for controller tests: rotates one
+    /// gap through N+1 slots every `interval` writes.
+    #[derive(Debug)]
+    struct ToyGap {
+        lines: u64,
+        interval: u64,
+        counter: u64,
+        gap: u64,
+        start: u64,
+    }
+
+    impl ToyGap {
+        fn new(lines: u64, interval: u64) -> Self {
+            Self {
+                lines,
+                interval,
+                counter: 0,
+                gap: lines,
+                start: 0,
+            }
+        }
+    }
+
+    impl WearLeveler for ToyGap {
+        fn translate(&self, la: LineAddr) -> LineAddr {
+            // Qureshi's Start-Gap formula: rotate within the N logical
+            // positions, then step over the gap.
+            let pa = (la + self.start) % self.lines;
+            if pa >= self.gap {
+                pa + 1
+            } else {
+                pa
+            }
+        }
+        fn before_write(&mut self, _la: LineAddr, bank: &mut PcmBank) -> Ns {
+            self.counter += 1;
+            if self.counter < self.interval {
+                return 0;
+            }
+            self.counter = 0;
+            let slots = self.lines + 1;
+            let src = (self.gap + slots - 1) % slots;
+            let lat = bank.move_line(src, self.gap);
+            self.gap = src;
+            if self.gap == self.lines {
+                self.start = (self.start + 1) % self.lines;
+            }
+            lat
+        }
+        fn writes_until_remap(&self, _la: LineAddr) -> u64 {
+            self.interval - 1 - self.counter
+        }
+        fn note_quiet_writes(&mut self, _la: LineAddr, k: u64) {
+            self.counter += k;
+            debug_assert!(self.counter < self.interval);
+        }
+        fn logical_lines(&self) -> u64 {
+            self.lines
+        }
+        fn physical_slots(&self) -> u64 {
+            self.lines + 1
+        }
+        fn name(&self) -> &'static str {
+            "toy-gap"
+        }
+    }
+
+    #[test]
+    fn write_latency_includes_remap_stall() {
+        let mut mc = MemoryController::new(ToyGap::new(4, 3), 1_000_000, TimingModel::PAPER);
+        // Writes 1 and 2 are plain; write 3 triggers a movement first.
+        assert_eq!(mc.write(0, LineData::Zeros).latency_ns, 125);
+        assert_eq!(mc.write(0, LineData::Zeros).latency_ns, 125);
+        // Movement moves ALL-0 data (fresh bank): 250 ns, plus the demand
+        // write itself at 125 ns.
+        assert_eq!(mc.write(0, LineData::Zeros).latency_ns, 375);
+    }
+
+    #[test]
+    fn write_repeat_equals_sequential_writes() {
+        for count in [1u64, 2, 3, 7, 20, 100] {
+            let mut a = MemoryController::new(ToyGap::new(8, 5), 1_000_000, TimingModel::PAPER);
+            let mut b = MemoryController::new(ToyGap::new(8, 5), 1_000_000, TimingModel::PAPER);
+            let mut last_a = WriteResponse {
+                latency_ns: 0,
+                failed: false,
+            };
+            for _ in 0..count {
+                last_a = a.write(3, LineData::Ones);
+            }
+            let last_b = b.write_repeat(3, LineData::Ones, count);
+            assert_eq!(a.now_ns(), b.now_ns(), "count={count}");
+            assert_eq!(a.demand_writes(), b.demand_writes());
+            assert_eq!(last_a, last_b, "count={count}");
+            assert_eq!(a.bank().wear(), b.bank().wear());
+        }
+    }
+
+    #[test]
+    fn data_round_trips_through_remapping() {
+        let mut mc = MemoryController::new(ToyGap::new(4, 2), 1_000_000, TimingModel::PAPER);
+        for la in 0..4 {
+            mc.write(la, LineData::Mixed(la as u32));
+        }
+        // Push many more writes to force several full rotation rounds.
+        for _ in 0..100 {
+            mc.write(0, LineData::Mixed(0));
+        }
+        for la in 1..4 {
+            assert_eq!(mc.read(la).0, LineData::Mixed(la as u32), "la={la}");
+        }
+    }
+
+    #[test]
+    fn failure_reported_through_response() {
+        let mut mc = MemoryController::new(ToyGap::new(2, 1000), 5, TimingModel::PAPER);
+        let resp = mc.write_repeat(0, LineData::Ones, 10);
+        assert!(resp.failed);
+        assert!(mc.failed());
+        // Failure occurred at exactly the endurance-th write to that slot.
+        assert_eq!(mc.bank().failure().unwrap().at_write, 5);
+    }
+
+    #[test]
+    fn clock_advances_with_translation_charge() {
+        let timing = TimingModel {
+            translation_ns: 10,
+            ..TimingModel::PAPER
+        };
+        let mut mc = MemoryController::new(ToyGap::new(4, 100), 1_000, timing);
+        assert_eq!(mc.write(0, LineData::Zeros).latency_ns, 135);
+        let (_, read_lat) = mc.read(0);
+        assert_eq!(read_lat, 135);
+    }
+}

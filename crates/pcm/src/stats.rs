@@ -1,0 +1,135 @@
+//! Wear-distribution statistics (used by Fig. 16 and the lifetime reports).
+
+/// Summary statistics over the per-line wear of a bank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSummary {
+    /// Number of lines summarized.
+    pub lines: u64,
+    /// Total writes absorbed by those lines.
+    pub total: u128,
+    /// Minimum per-line wear.
+    pub min: u64,
+    /// Maximum per-line wear.
+    pub max: u64,
+    /// Mean per-line wear.
+    pub mean: f64,
+    /// Coefficient of variation (stddev / mean); 0 for perfectly even wear.
+    pub cov: f64,
+}
+
+impl WearSummary {
+    /// Summarize a slice of per-line wear counters.
+    pub fn from_wear(wear: &[u64]) -> Self {
+        assert!(!wear.is_empty());
+        let lines = wear.len() as u64;
+        let total: u128 = wear.iter().map(|&w| w as u128).sum();
+        let mean = total as f64 / lines as f64;
+        let var = wear
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / lines as f64;
+        let cov = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+        Self {
+            lines,
+            total,
+            min: wear.iter().copied().min().unwrap(),
+            max: wear.iter().copied().max().unwrap(),
+            mean,
+            cov,
+        }
+    }
+}
+
+/// The y-values of the paper's Fig. 16: normalized accumulated writes across
+/// the address space, sampled at `points` x-positions.
+///
+/// `curve[i]` is the fraction of all writes that landed on addresses
+/// `0 ..= (i+1)/points` of the space. A perfectly uniform distribution
+/// yields the straight line `y = x`.
+pub fn normalized_cumulative_wear(wear: &[u64], points: usize) -> Vec<f64> {
+    assert!(points >= 1);
+    let total: u128 = wear.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return vec![0.0; points];
+    }
+    let n = wear.len();
+    let mut out = Vec::with_capacity(points);
+    let mut acc: u128 = 0;
+    let mut idx = 0usize;
+    for p in 1..=points {
+        let upto = n * p / points;
+        while idx < upto {
+            acc += wear[idx] as u128;
+            idx += 1;
+        }
+        out.push(acc as f64 / total as f64);
+    }
+    out
+}
+
+/// Gini coefficient of the wear distribution: 0 = perfectly even,
+/// → 1 = all wear on one line. A scalar companion to Fig. 16.
+pub fn gini_coefficient(wear: &[u64]) -> f64 {
+    let n = wear.len();
+    assert!(n > 0);
+    let mut sorted: Vec<u64> = wear.to_vec();
+    sorted.sort_unstable();
+    let total: u128 = sorted.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Gini = (2 * sum_i i*x_i) / (n * total) - (n + 1) / n, with 1-based i
+    // over ascending x.
+    let weighted: u128 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as u128 + 1) * w as u128)
+        .sum();
+    (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_uniform_wear() {
+        let wear = vec![10u64; 8];
+        let s = WearSummary::from_wear(&wear);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.total, 80);
+        assert!(s.cov.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_curve_uniform_is_linear() {
+        let wear = vec![5u64; 100];
+        let curve = normalized_cumulative_wear(&wear, 10);
+        for (i, y) in curve.iter().enumerate() {
+            let x = (i + 1) as f64 / 10.0;
+            assert!((y - x).abs() < 1e-12, "y({x})={y}");
+        }
+    }
+
+    #[test]
+    fn cumulative_curve_hotspot_is_convex_step() {
+        // All wear on the first line: curve hits 1.0 immediately.
+        let mut wear = vec![0u64; 10];
+        wear[0] = 100;
+        let curve = normalized_cumulative_wear(&wear, 5);
+        assert!(curve.iter().all(|&y| (y - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn gini_bounds() {
+        assert!(gini_coefficient(&[7, 7, 7, 7]).abs() < 1e-12);
+        let g = gini_coefficient(&[0, 0, 0, 100]);
+        assert!(g > 0.7, "gini of a point mass should be high, got {g}");
+        assert!(gini_coefficient(&[0, 0, 0]) == 0.0);
+    }
+}

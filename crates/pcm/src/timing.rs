@@ -1,0 +1,141 @@
+//! PCM timing model: the read/RESET/SET latency asymmetry.
+
+use crate::{LineData, Ns};
+
+/// Latency parameters of the PCM device and controller.
+///
+/// The defaults are the paper's assumptions (§II-C, §V): READ = RESET =
+/// 125 ns, SET = 1000 ns. `translation_ns` models the address-translation
+/// pipeline in front of the array (the paper charges 10 ns for Security
+/// RBSG's DFN + SRAM lookup in §V-C4); it is zero for the raw device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Latency of a line read (sensing), ns.
+    pub read_ns: u64,
+    /// Latency of a SET pulse (writing bit ‘1’), ns.
+    pub set_ns: u64,
+    /// Latency of a RESET pulse (writing bit ‘0’), ns.
+    pub reset_ns: u64,
+    /// Fixed address-translation latency added to every request, ns.
+    pub translation_ns: u64,
+    /// Latency of accessing an SRAM-backed line (e.g. a controller-resident
+    /// spare), ns. The paper charges 3–5 cycles ≈ 10 ns for SRAM accesses.
+    pub sram_ns: u64,
+    /// Data-comparison write: skip pulses for unchanged bits. An ablation
+    /// knob (off in the paper's model, where latency depends only on the
+    /// written data).
+    pub data_comparison_write: bool,
+}
+
+impl TimingModel {
+    /// The paper's configuration: 125/1000/125 ns, no DCW, no translation
+    /// charge.
+    pub const PAPER: Self = Self {
+        read_ns: 125,
+        set_ns: 1000,
+        reset_ns: 125,
+        translation_ns: 0,
+        sram_ns: 10,
+        data_comparison_write: false,
+    };
+
+    /// Latency of writing `new` over `old`.
+    ///
+    /// Without DCW this depends only on `new` (paper model): ALL-0 costs a
+    /// RESET pulse, anything containing a ‘1’ costs a SET pulse. With DCW,
+    /// unchanged lines cost only the comparison read, and an ALL-1 → ALL-0
+    /// transition needs only RESET pulses.
+    #[inline]
+    pub fn write_latency(&self, old: LineData, new: LineData) -> Ns {
+        if !self.data_comparison_write {
+            return if new.needs_set() {
+                self.set_ns as Ns
+            } else {
+                self.reset_ns as Ns
+            };
+        }
+        // DCW: determine which pulse kinds the old→new transition needs.
+        use LineData::*;
+        let (needs_set, needs_reset) = match (old, new) {
+            (a, b) if a == b => (false, false),
+            (_, Ones) => (true, false),
+            (Ones, Zeros) => (false, true),
+            (Mixed(_), Zeros) => (false, true),
+            (Zeros, Mixed(_)) => (true, false),
+            // Mixed→different-Mixed: assume both transitions occur.
+            _ => (true, true),
+        };
+        let pulse = if needs_set {
+            self.set_ns
+        } else if needs_reset {
+            self.reset_ns
+        } else {
+            0
+        };
+        (self.read_ns + pulse) as Ns
+    }
+
+    /// Latency of a read.
+    #[inline]
+    pub fn read_latency(&self) -> Ns {
+        self.read_ns as Ns
+    }
+
+    /// Latency of one remap *movement*: read the source line, write its data
+    /// to the destination. 250 ns for ALL-0 data, 1125 ns for data with a
+    /// ‘1’ bit — the two signatures in the paper's Fig. 4(a).
+    #[inline]
+    pub fn move_latency(&self, data: LineData, dst_old: LineData) -> Ns {
+        self.read_latency() + self.write_latency(dst_old, data)
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_write_latencies() {
+        let t = TimingModel::PAPER;
+        assert_eq!(t.write_latency(LineData::Mixed(0), LineData::Zeros), 125);
+        assert_eq!(t.write_latency(LineData::Zeros, LineData::Ones), 1000);
+        assert_eq!(t.write_latency(LineData::Zeros, LineData::Mixed(1)), 1000);
+    }
+
+    #[test]
+    fn paper_move_latencies_match_fig4a() {
+        // Fig. 4(a): moving an ALL-0 line costs 250 ns (read + RESET);
+        // moving an ALL-1 line costs 1125 ns (read + SET).
+        let t = TimingModel::PAPER;
+        assert_eq!(t.move_latency(LineData::Zeros, LineData::Zeros), 250);
+        assert_eq!(t.move_latency(LineData::Ones, LineData::Zeros), 1125);
+    }
+
+    #[test]
+    fn swap_latencies_match_fig4b() {
+        // Fig. 4(b): an SR swap is two movements. ALL-0↔ALL-0 = 500 ns,
+        // ALL-0↔ALL-1 = 1375 ns, ALL-1↔ALL-1 = 2250 ns.
+        let t = TimingModel::PAPER;
+        let mv = |d| t.move_latency(d, LineData::Zeros);
+        assert_eq!(mv(LineData::Zeros) + mv(LineData::Zeros), 500);
+        assert_eq!(mv(LineData::Zeros) + mv(LineData::Ones), 1375);
+        assert_eq!(mv(LineData::Ones) + mv(LineData::Ones), 2250);
+    }
+
+    #[test]
+    fn dcw_skips_unchanged_lines() {
+        let t = TimingModel {
+            data_comparison_write: true,
+            ..TimingModel::PAPER
+        };
+        assert_eq!(t.write_latency(LineData::Zeros, LineData::Zeros), 125);
+        assert_eq!(t.write_latency(LineData::Ones, LineData::Zeros), 250);
+        assert_eq!(t.write_latency(LineData::Zeros, LineData::Ones), 1125);
+    }
+}

@@ -1,0 +1,373 @@
+//! One-level and two-level Security Refresh schemes (Seong et al.,
+//! ISCA'10), the strongest prior defence the paper attacks.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+
+use crate::SrMapping;
+
+/// One-level Security Refresh over `regions` independent regions.
+///
+/// The memory is split into regions *by address sequence*; each region runs
+/// its own [`SrMapping`] with an independent random key schedule. Every
+/// `interval` (ψ) demand writes to a region trigger one refresh step there.
+/// SR swaps lines in place, so no spare slots are needed.
+#[derive(Debug, Clone)]
+pub struct SecurityRefresh {
+    maps: Vec<SrMapping>,
+    counters: Vec<u64>,
+    interval: u64,
+    lines: u64,
+    region_lines: u64,
+    rng: SmallRng,
+}
+
+impl SecurityRefresh {
+    /// Build with `lines` total lines (power of two), `regions` regions,
+    /// and refresh interval ψ = `interval`. Keys are drawn from a
+    /// deterministic RNG seeded with `seed`.
+    pub fn new(lines: u64, regions: u64, interval: u64, seed: u64) -> Self {
+        assert!(regions >= 1 && lines.is_multiple_of(regions));
+        assert!(interval >= 1);
+        let region_lines = lines / regions;
+        assert!(region_lines.is_power_of_two() && region_lines >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let maps = (0..regions)
+            .map(|_| SrMapping::new(region_lines, &mut rng))
+            .collect();
+        Self {
+            maps,
+            counters: vec![0; regions as usize],
+            interval,
+            lines,
+            region_lines,
+            rng,
+        }
+    }
+
+    /// Refresh interval ψ.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Lines per region.
+    pub fn region_lines(&self) -> u64 {
+        self.region_lines
+    }
+
+    /// The mapping of region `r` (white-box inspection for tests).
+    pub fn region(&self, r: u64) -> &SrMapping {
+        &self.maps[r as usize]
+    }
+
+    #[inline]
+    fn region_of(&self, la: u64) -> u64 {
+        la / self.region_lines
+    }
+}
+
+impl WearLeveler for SecurityRefresh {
+    fn translate(&self, la: LineAddr) -> LineAddr {
+        let r = self.region_of(la);
+        let idx = la % self.region_lines;
+        r * self.region_lines + self.maps[r as usize].translate(idx)
+    }
+
+    fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
+        let r = self.region_of(la) as usize;
+        self.counters[r] += 1;
+        if self.counters[r] < self.interval {
+            return 0;
+        }
+        self.counters[r] = 0;
+        let base = r as u64 * self.region_lines;
+        match self.maps[r].advance(&mut self.rng) {
+            Some(swap) => bank.swap_lines(base + swap.a, base + swap.b),
+            None => 0,
+        }
+    }
+
+    fn writes_until_remap(&self, la: LineAddr) -> u64 {
+        let r = self.region_of(la) as usize;
+        self.interval - 1 - self.counters[r]
+    }
+
+    fn note_quiet_writes(&mut self, la: LineAddr, k: u64) {
+        let r = self.region_of(la) as usize;
+        self.counters[r] += k;
+        debug_assert!(self.counters[r] < self.interval);
+    }
+
+    fn logical_lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn physical_slots(&self) -> u64 {
+        self.lines
+    }
+
+    fn name(&self) -> &'static str {
+        "security-refresh"
+    }
+}
+
+/// Two-level Security Refresh: an outer SR over the whole bank remaps
+/// LA → IA; the IA space is divided into `sub_regions` sub-regions, each
+/// managed by an inner SR translating IA → PA.
+///
+/// Both levels are SR instances, transparent and independent of each other
+/// (paper §III-C). The outer level counts all demand writes; each inner
+/// level counts the demand writes landing in its sub-region. An outer swap
+/// exchanges two *logical-to-intermediate* positions, so the data movement
+/// it performs is routed through the inner mappings of the affected
+/// sub-regions.
+#[derive(Debug, Clone)]
+pub struct TwoLevelSr {
+    outer: SrMapping,
+    outer_counter: u64,
+    outer_interval: u64,
+    inner: Vec<SrMapping>,
+    inner_counters: Vec<u64>,
+    inner_interval: u64,
+    lines: u64,
+    region_lines: u64,
+    rng: SmallRng,
+}
+
+impl TwoLevelSr {
+    /// Build with `lines` total (power of two), `sub_regions` inner
+    /// regions, inner interval ψ_in and outer interval ψ_out.
+    pub fn new(
+        lines: u64,
+        sub_regions: u64,
+        inner_interval: u64,
+        outer_interval: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(lines.is_power_of_two());
+        assert!(sub_regions >= 1 && lines.is_multiple_of(sub_regions));
+        assert!(inner_interval >= 1 && outer_interval >= 1);
+        let region_lines = lines / sub_regions;
+        assert!(region_lines.is_power_of_two() && region_lines >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let outer = SrMapping::new(lines, &mut rng);
+        let inner = (0..sub_regions)
+            .map(|_| SrMapping::new(region_lines, &mut rng))
+            .collect();
+        Self {
+            outer,
+            outer_counter: 0,
+            outer_interval,
+            inner,
+            inner_counters: vec![0; sub_regions as usize],
+            inner_interval,
+            lines,
+            region_lines,
+            rng,
+        }
+    }
+
+    /// Inner refresh interval ψ_in.
+    pub fn inner_interval(&self) -> u64 {
+        self.inner_interval
+    }
+
+    /// Outer refresh interval ψ_out.
+    pub fn outer_interval(&self) -> u64 {
+        self.outer_interval
+    }
+
+    /// Number of inner sub-regions.
+    pub fn sub_regions(&self) -> u64 {
+        self.inner.len() as u64
+    }
+
+    /// Lines per sub-region.
+    pub fn region_lines(&self) -> u64 {
+        self.region_lines
+    }
+
+    /// The outer mapping (white-box inspection).
+    pub fn outer(&self) -> &SrMapping {
+        &self.outer
+    }
+
+    /// The inner mapping of sub-region `r` (white-box inspection).
+    pub fn inner(&self, r: u64) -> &SrMapping {
+        &self.inner[r as usize]
+    }
+
+    /// Map an intermediate address to its physical slot through the inner
+    /// level.
+    #[inline]
+    fn inner_translate(&self, ia: u64) -> u64 {
+        let r = ia / self.region_lines;
+        r * self.region_lines + self.inner[r as usize].translate(ia % self.region_lines)
+    }
+}
+
+impl WearLeveler for TwoLevelSr {
+    fn translate(&self, la: LineAddr) -> LineAddr {
+        self.inner_translate(self.outer.translate(la))
+    }
+
+    fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
+        let mut latency = 0;
+        // Outer level: one refresh per ψ_out demand writes to the bank.
+        self.outer_counter += 1;
+        if self.outer_counter >= self.outer_interval {
+            self.outer_counter = 0;
+            if let Some(swap) = self.outer.advance(&mut self.rng) {
+                let pa = self.inner_translate(swap.a);
+                let pb = self.inner_translate(swap.b);
+                latency += bank.swap_lines(pa, pb);
+            }
+        }
+        // Inner level: one refresh per ψ_in demand writes to the
+        // sub-region this write lands in (post-outer-movement mapping).
+        let ia = self.outer.translate(la);
+        let r = (ia / self.region_lines) as usize;
+        self.inner_counters[r] += 1;
+        if self.inner_counters[r] >= self.inner_interval {
+            self.inner_counters[r] = 0;
+            let base = r as u64 * self.region_lines;
+            if let Some(swap) = self.inner[r].advance(&mut self.rng) {
+                latency += bank.swap_lines(base + swap.a, base + swap.b);
+            }
+        }
+        latency
+    }
+
+    fn writes_until_remap(&self, la: LineAddr) -> u64 {
+        let outer_left = self.outer_interval - 1 - self.outer_counter;
+        let ia = self.outer.translate(la);
+        let r = (ia / self.region_lines) as usize;
+        let inner_left = self.inner_interval - 1 - self.inner_counters[r];
+        outer_left.min(inner_left)
+    }
+
+    fn note_quiet_writes(&mut self, la: LineAddr, k: u64) {
+        self.outer_counter += k;
+        debug_assert!(self.outer_counter < self.outer_interval);
+        let ia = self.outer.translate(la);
+        let r = (ia / self.region_lines) as usize;
+        self.inner_counters[r] += k;
+        debug_assert!(self.inner_counters[r] < self.inner_interval);
+    }
+
+    fn logical_lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn physical_slots(&self) -> u64 {
+        self.lines
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level-sr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_pcm::{LineData, MemoryController, TimingModel};
+
+    #[test]
+    fn one_level_translation_is_injective_over_time() {
+        let wl = SecurityRefresh::new(64, 4, 3, 7);
+        let mut mc = MemoryController::new(wl, 1_000_000, TimingModel::PAPER);
+        for step in 0..600u64 {
+            let mut seen = std::collections::HashSet::new();
+            for la in 0..64 {
+                assert!(seen.insert(mc.translate(la)), "step {step} la collision");
+            }
+            mc.write(step % 64, LineData::Zeros);
+        }
+    }
+
+    #[test]
+    fn one_level_data_integrity() {
+        let wl = SecurityRefresh::new(32, 2, 2, 3);
+        let mut mc = MemoryController::new(wl, 1_000_000, TimingModel::PAPER);
+        for la in 0..32 {
+            mc.write(la, LineData::Mixed(la as u32));
+        }
+        for i in 0..3_000u64 {
+            mc.write(i % 5, LineData::Mixed((i % 5) as u32));
+        }
+        for la in 0..32 {
+            assert_eq!(mc.read(la).0, LineData::Mixed(la as u32), "la={la}");
+        }
+    }
+
+    #[test]
+    fn two_level_translation_is_injective_over_time() {
+        let wl = TwoLevelSr::new(64, 4, 2, 3, 13);
+        let mut mc = MemoryController::new(wl, 10_000_000, TimingModel::PAPER);
+        for step in 0..2_000u64 {
+            let mut seen = std::collections::HashSet::new();
+            for la in 0..64 {
+                assert!(seen.insert(mc.translate(la)), "step {step} collision");
+            }
+            mc.write(step % 64, LineData::Zeros);
+        }
+    }
+
+    #[test]
+    fn two_level_data_integrity() {
+        let wl = TwoLevelSr::new(64, 8, 2, 2, 21);
+        let mut mc = MemoryController::new(wl, 10_000_000, TimingModel::PAPER);
+        for la in 0..64 {
+            mc.write(la, LineData::Mixed(100 + la as u32));
+        }
+        for i in 0..10_000u64 {
+            mc.write(i % 7, LineData::Mixed(100 + (i % 7) as u32));
+        }
+        for la in 0..64 {
+            assert_eq!(mc.read(la).0, LineData::Mixed(100 + la as u32), "la={la}");
+        }
+    }
+
+    #[test]
+    fn swap_latency_observable_on_refresh() {
+        // With ψ = 2 and ALL-0 everywhere, refresh swaps cost 500 ns
+        // (Fig. 4(b)) on top of the 125 ns demand write.
+        let wl = SecurityRefresh::new(16, 1, 2, 1);
+        let mut mc = MemoryController::new(wl, 1_000_000, TimingModel::PAPER);
+        let mut lat = Vec::new();
+        for i in 0..16 {
+            lat.push(mc.write(i % 16, LineData::Zeros).latency_ns);
+        }
+        // Every second write carries either a 500 ns swap or a skip.
+        for (i, &l) in lat.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(l == 125 || l == 625, "write {i}: {l}");
+            } else {
+                assert_eq!(l, 125, "write {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn write_repeat_consistency_two_level() {
+        for count in [1u64, 5, 17, 64, 300] {
+            let mk = || {
+                MemoryController::new(
+                    TwoLevelSr::new(32, 4, 3, 5, 99),
+                    10_000_000,
+                    TimingModel::PAPER,
+                )
+            };
+            let mut a = mk();
+            let mut b = mk();
+            for _ in 0..count {
+                a.write(9, LineData::Ones);
+            }
+            b.write_repeat(9, LineData::Ones, count);
+            assert_eq!(a.now_ns(), b.now_ns(), "count={count}");
+            assert_eq!(a.bank().wear(), b.bank().wear(), "count={count}");
+        }
+    }
+}

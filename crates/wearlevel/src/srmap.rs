@@ -1,0 +1,265 @@
+//! The Security Refresh mapping primitive (Seong et al., ISCA'10; paper
+//! Fig. 5).
+
+use rand::{Rng, RngExt};
+
+/// One SR refresh movement: swap the contents of two slots (offsets within
+/// the region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrSwap {
+    /// First slot of the pairwise swap.
+    pub a: u64,
+    /// Second slot.
+    pub b: u64,
+}
+
+/// One Security Refresh region over a power-of-two number of lines.
+///
+/// Each line `l` maps to `l XOR key_c` once remapped in the current round,
+/// `l XOR key_p` before that. The Current Refresh Pointer (CRP) walks the
+/// logical space; refreshing `l` swaps it with its pair
+/// `l XOR key_c XOR key_p` (the *pairwise property*), so both become
+/// remapped with a single swap. When the CRP completes a sweep, the key
+/// schedule rolls (`key_p = key_c`, fresh random `key_c`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrMapping {
+    lines: u64,
+    mask: u64,
+    key_c: u64,
+    key_p: u64,
+    crp: u64,
+    rounds_completed: u64,
+}
+
+impl SrMapping {
+    /// A fresh region of `lines` (power of two) with both keys drawn from
+    /// `rng`.
+    ///
+    /// The initial mapping is `l XOR key_p` with every line considered
+    /// *not yet remapped* (CRP = 0), matching Fig. 5(a).
+    pub fn new<R: Rng + ?Sized>(lines: u64, rng: &mut R) -> Self {
+        Self::with_key_mask(lines, lines - 1, rng)
+    }
+
+    /// A region whose keys are constrained to `key_mask` — used by
+    /// Multi-Way SR, where the outer level only remaps the sub-region
+    /// index bits.
+    pub fn with_key_mask<R: Rng + ?Sized>(lines: u64, key_mask: u64, rng: &mut R) -> Self {
+        assert!(lines >= 2 && lines.is_power_of_two());
+        assert!(key_mask < lines);
+        let key_p = rng.random::<u64>() & key_mask;
+        let key_c = rng.random::<u64>() & key_mask;
+        Self {
+            lines,
+            mask: key_mask,
+            key_c,
+            key_p,
+            crp: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// Build with explicit keys (tests and worked examples).
+    pub fn with_keys(lines: u64, key_c: u64, key_p: u64) -> Self {
+        assert!(lines >= 2 && lines.is_power_of_two());
+        let mask = lines - 1;
+        assert!(key_c <= mask && key_p <= mask);
+        Self {
+            lines,
+            mask,
+            key_c,
+            key_p,
+            crp: 0,
+            rounds_completed: 0,
+        }
+    }
+
+    /// Number of lines (= slots; SR needs no spare line).
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Current-round key.
+    #[inline]
+    pub fn key_c(&self) -> u64 {
+        self.key_c
+    }
+
+    /// Previous-round key.
+    #[inline]
+    pub fn key_p(&self) -> u64 {
+        self.key_p
+    }
+
+    /// Current Refresh Pointer (`0..lines`).
+    #[inline]
+    pub fn crp(&self) -> u64 {
+        self.crp
+    }
+
+    /// How many full refresh rounds have completed.
+    #[inline]
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
+    }
+
+    /// The pair of `idx` in the current round.
+    #[inline]
+    pub fn pair(&self, idx: u64) -> u64 {
+        idx ^ self.key_c ^ self.key_p
+    }
+
+    /// Whether `idx` has been remapped in the current round.
+    #[inline]
+    fn remapped(&self, idx: u64) -> bool {
+        idx.min(self.pair(idx)) < self.crp
+    }
+
+    /// Map a logical index (`0..lines`) to its slot (`0..lines`).
+    #[inline]
+    pub fn translate(&self, idx: u64) -> u64 {
+        debug_assert!(idx < self.lines);
+        if self.remapped(idx) {
+            idx ^ self.key_c
+        } else {
+            idx ^ self.key_p
+        }
+    }
+
+    /// Inverse mapping: the logical index whose data is at `slot`.
+    #[inline]
+    pub fn inverse(&self, slot: u64) -> u64 {
+        debug_assert!(slot < self.lines);
+        // XOR mappings are involutions, so test both candidates.
+        let via_c = slot ^ self.key_c;
+        if self.remapped(via_c) {
+            via_c
+        } else {
+            slot ^ self.key_p
+        }
+    }
+
+    /// Perform one refresh step: consider the line at the CRP, swap it with
+    /// its pair if neither has been refreshed this round, advance the CRP,
+    /// and roll the keys at round end.
+    ///
+    /// Returns the slot swap to execute, or `None` when the step is a skip
+    /// (the line was already moved as somebody's pair — paper Fig. 5(c) —
+    /// or is its own pair because the keys coincide). A skip produces no
+    /// memory traffic and therefore no observable latency: the "worst case"
+    /// in the paper's Step 4.
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<SrSwap> {
+        let l = self.crp;
+        let pair = self.pair(l);
+        let swap = if pair > l {
+            Some(SrSwap {
+                a: l ^ self.key_p,
+                b: l ^ self.key_c,
+            })
+        } else {
+            None
+        };
+        self.crp += 1;
+        if self.crp == self.lines {
+            self.key_p = self.key_c;
+            self.key_c = rng.random::<u64>() & self.mask;
+            self.crp = 0;
+            self.rounds_completed += 1;
+        }
+        swap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Replays the paper's Fig. 5: 4 lines, key_p = 0b10, key_c = 0b11.
+    /// Letters A..D are logical lines 0..3.
+    #[test]
+    fn fig5_security_refresh_round() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut m = SrMapping::with_keys(4, 0b11, 0b10);
+        // (a) initial: everything under key_p = 10: A(0)->2, B(1)->3,
+        //     C(2)->0, D(3)->1.
+        assert_eq!(m.translate(0), 2);
+        assert_eq!(m.translate(1), 3);
+        assert_eq!(m.translate(2), 0);
+        assert_eq!(m.translate(3), 1);
+        // (b) 1st remapping: LA0's new location is 0^11 = 3; its pair is
+        //     0^11^10 = 1; swap slots (0^10, 0^11) = (2, 3).
+        let swap = m.advance(&mut rng).expect("first step must swap");
+        assert_eq!(swap, SrSwap { a: 2, b: 3 });
+        assert_eq!(m.translate(0), 3);
+        assert_eq!(m.translate(1), 2);
+        // (c) 2nd remapping: LA1 was already moved as LA0's pair — skip.
+        assert_eq!(m.advance(&mut rng), None);
+        // Remaining steps finish the round.
+        let s = m.advance(&mut rng).expect("LA2 must swap");
+        assert_eq!(s, SrSwap { a: 2 ^ 0b10, b: 2 ^ 0b11 });
+        assert_eq!(m.advance(&mut rng), None);
+        // (d) final state: everything under key 11.
+        assert_eq!(m.rounds_completed(), 1);
+        assert_eq!(m.key_p(), 0b11);
+        for la in 0..4 {
+            assert_eq!(m.translate(la), la ^ 0b11);
+        }
+    }
+
+    #[test]
+    fn mapping_is_injective_at_every_step() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut m = SrMapping::new(16, &mut rng);
+        for step in 0..200 {
+            let mut seen = vec![false; 16];
+            for idx in 0..16 {
+                let slot = m.translate(idx);
+                assert!(!seen[slot as usize], "step {step}");
+                seen[slot as usize] = true;
+                assert_eq!(m.inverse(slot), idx, "step {step}");
+            }
+            m.advance(&mut rng);
+        }
+    }
+
+    #[test]
+    fn each_round_performs_each_swap_once() {
+        // Over one full round, the number of swaps is the number of
+        // two-element orbits of XOR by (key_c ^ key_p): lines/2 when the
+        // keys differ, 0 when they coincide.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = SrMapping::with_keys(8, 0b101, 0b010);
+        let mut swaps = 0;
+        for _ in 0..8 {
+            if m.advance(&mut rng).is_some() {
+                swaps += 1;
+            }
+        }
+        assert_eq!(swaps, 4);
+        assert_eq!(m.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn identical_keys_round_is_all_skips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = SrMapping::with_keys(4, 0b01, 0b01);
+        for _ in 0..4 {
+            assert_eq!(m.advance(&mut rng), None);
+        }
+        assert_eq!(m.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn pairwise_property() {
+        // LA XOR pair(LA) == key_c XOR key_p for every line: the identity
+        // the paper's RTA against SR exploits (§III-D).
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = SrMapping::new(64, &mut rng);
+        for la in 0..64 {
+            assert_eq!(la ^ m.pair(la), m.key_c() ^ m.key_p());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the mapping primitives.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use srbsg_wearlevel::{GapMapping, SrMapping};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any number of movements, Start-Gap remains a bijection onto
+    /// slots-minus-gap, and inverse() agrees.
+    #[test]
+    fn gap_mapping_bijective(lines in 1u64..40, steps in 0u64..200) {
+        let mut m = GapMapping::new(lines);
+        for _ in 0..steps {
+            m.advance();
+        }
+        let mut seen = vec![false; m.slots() as usize];
+        for idx in 0..lines {
+            let slot = m.translate(idx);
+            prop_assert!(slot <= lines);
+            prop_assert_ne!(slot, m.gap());
+            prop_assert!(!seen[slot as usize]);
+            seen[slot as usize] = true;
+            prop_assert_eq!(m.inverse(slot), Some(idx));
+        }
+        prop_assert_eq!(m.inverse(m.gap()), None);
+    }
+
+    /// SR stays a bijection with a working inverse at every refresh step,
+    /// for any power-of-two size and any key draw.
+    #[test]
+    fn sr_mapping_bijective(bits in 1u32..8, steps in 0u64..600, seed in any::<u64>()) {
+        let lines = 1u64 << bits;
+        prop_assume!(lines >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = SrMapping::new(lines, &mut rng);
+        for _ in 0..steps {
+            m.advance(&mut rng);
+        }
+        let mut seen = vec![false; lines as usize];
+        for idx in 0..lines {
+            let slot = m.translate(idx);
+            prop_assert!(slot < lines);
+            prop_assert!(!seen[slot as usize]);
+            seen[slot as usize] = true;
+            prop_assert_eq!(m.inverse(slot), idx);
+        }
+    }
+
+    /// The pairwise identity RTA exploits holds at all times.
+    #[test]
+    fn sr_pairwise_identity(bits in 1u32..8, steps in 0u64..300, seed in any::<u64>()) {
+        let lines = 1u64 << bits;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = SrMapping::new(lines, &mut rng);
+        for _ in 0..steps {
+            m.advance(&mut rng);
+        }
+        for la in 0..lines {
+            prop_assert_eq!(la ^ m.pair(la), m.key_c() ^ m.key_p());
+        }
+    }
+
+    /// A full SR round leaves every line mapped under the (new) previous
+    /// key — the clean-slate property the round-boundary bookkeeping of
+    /// the attacks relies on.
+    #[test]
+    fn sr_round_boundary_is_clean(bits in 1u32..8, seed in any::<u64>()) {
+        let lines = 1u64 << bits;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut m = SrMapping::new(lines, &mut rng);
+        let before = m.rounds_completed();
+        while m.rounds_completed() == before {
+            m.advance(&mut rng);
+        }
+        for la in 0..lines {
+            prop_assert_eq!(m.translate(la), la ^ m.key_p());
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Per-benchmark synthetic profiles standing in for the paper's PARSEC and
+//! SPEC CPU2006 suites (§V-C4).
+//!
+//! The numbers below are *synthetic calibrations*, not measurements: they
+//! encode the public qualitative characterization of each benchmark
+//! (memory-bound vs compute-bound, streaming vs pointer-chasing) into the
+//! three knobs the performance experiment depends on. PARSEC workloads are
+//! denser on average than SPEC ones, and `bzip2`/`gcc` are sparse enough
+//! that remaps hide entirely in idle slots — the paper's explicit
+//! observation.
+
+use crate::{Access, SequentialTrace, TraceGenerator, ZipfTrace};
+
+/// Trace profile of one named benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchProfile {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Suite ("parsec" or "spec2006").
+    pub suite: &'static str,
+    /// Mean CPU cycles between memory accesses (lower = memory-bound).
+    pub mean_gap: u64,
+    /// Fraction of accesses that are writes.
+    pub write_ratio: f64,
+    /// Zipf exponent of the access distribution (0 → streaming profile).
+    pub zipf_s: f64,
+}
+
+impl BenchProfile {
+    /// Instantiate a trace generator over `lines` addresses.
+    pub fn build(&self, lines: u64, seed: u64) -> Box<dyn TraceGenerator> {
+        if self.zipf_s == 0.0 {
+            Box::new(SequentialTrace::new(
+                lines,
+                self.write_ratio,
+                self.mean_gap,
+                seed,
+            ))
+        } else {
+            Box::new(ZipfTrace::new(
+                lines,
+                self.zipf_s,
+                self.write_ratio,
+                self.mean_gap,
+                seed,
+            ))
+        }
+    }
+}
+
+impl TraceGenerator for Box<dyn TraceGenerator> {
+    fn next_access(&mut self) -> Access {
+        (**self).next_access()
+    }
+}
+
+macro_rules! profile {
+    ($name:literal, $suite:literal, $gap:literal, $wr:literal, $s:literal) => {
+        BenchProfile {
+            name: $name,
+            suite: $suite,
+            mean_gap: $gap,
+            write_ratio: $wr,
+            zipf_s: $s,
+        }
+    };
+}
+
+/// The 13 PARSEC benchmarks the paper runs, as synthetic profiles.
+pub fn parsec_suite() -> Vec<BenchProfile> {
+    vec![
+        profile!("blackscholes", "parsec", 180, 0.30, 0.8),
+        profile!("bodytrack", "parsec", 120, 0.35, 0.9),
+        profile!("canneal", "parsec", 40, 0.40, 1.1),
+        profile!("dedup", "parsec", 60, 0.50, 0.9),
+        profile!("facesim", "parsec", 70, 0.40, 0.7),
+        profile!("ferret", "parsec", 90, 0.35, 0.9),
+        profile!("fluidanimate", "parsec", 50, 0.45, 0.6),
+        profile!("freqmine", "parsec", 110, 0.30, 1.0),
+        profile!("raytrace", "parsec", 140, 0.25, 0.9),
+        profile!("streamcluster", "parsec", 30, 0.35, 0.0),
+        profile!("swaptions", "parsec", 200, 0.30, 0.8),
+        profile!("vips", "parsec", 80, 0.40, 0.0),
+        profile!("x264", "parsec", 65, 0.45, 0.8),
+    ]
+}
+
+/// The 27 SPEC CPU2006 benchmarks the paper runs, as synthetic profiles.
+/// `bzip2` and `gcc` are the sparse outliers the paper calls out.
+pub fn spec_suite() -> Vec<BenchProfile> {
+    vec![
+        profile!("perlbench", "spec2006", 300, 0.35, 1.0),
+        profile!("bzip2", "spec2006", 900, 0.30, 0.9),
+        profile!("gcc", "spec2006", 800, 0.35, 1.0),
+        profile!("bwaves", "spec2006", 150, 0.40, 0.0),
+        profile!("gamess", "spec2006", 500, 0.25, 0.8),
+        profile!("mcf", "spec2006", 90, 0.30, 1.2),
+        profile!("milc", "spec2006", 160, 0.45, 0.0),
+        profile!("zeusmp", "spec2006", 220, 0.40, 0.6),
+        profile!("gromacs", "spec2006", 400, 0.30, 0.7),
+        profile!("cactusADM", "spec2006", 180, 0.45, 0.5),
+        profile!("leslie3d", "spec2006", 170, 0.45, 0.0),
+        profile!("namd", "spec2006", 450, 0.25, 0.7),
+        profile!("gobmk", "spec2006", 420, 0.30, 1.0),
+        profile!("dealII", "spec2006", 350, 0.35, 0.9),
+        profile!("soplex", "spec2006", 200, 0.30, 1.1),
+        profile!("povray", "spec2006", 550, 0.25, 0.9),
+        profile!("calculix", "spec2006", 380, 0.35, 0.7),
+        profile!("hmmer", "spec2006", 480, 0.40, 0.8),
+        profile!("sjeng", "spec2006", 460, 0.30, 1.0),
+        profile!("GemsFDTD", "spec2006", 190, 0.45, 0.0),
+        profile!("libquantum", "spec2006", 140, 0.35, 0.0),
+        profile!("h264ref", "spec2006", 330, 0.40, 0.9),
+        profile!("tonto", "spec2006", 430, 0.30, 0.8),
+        profile!("lbm", "spec2006", 110, 0.50, 0.0),
+        profile!("omnetpp", "spec2006", 260, 0.35, 1.1),
+        profile!("astar", "spec2006", 280, 0.30, 1.0),
+        profile!("xalancbmk", "spec2006", 240, 0.35, 1.1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(parsec_suite().len(), 13);
+        assert_eq!(spec_suite().len(), 27);
+    }
+
+    #[test]
+    fn parsec_denser_than_spec_on_average() {
+        let avg = |v: &[BenchProfile]| {
+            v.iter().map(|p| p.mean_gap as f64).sum::<f64>() / v.len() as f64
+        };
+        assert!(avg(&parsec_suite()) < avg(&spec_suite()));
+    }
+
+    #[test]
+    fn sparse_outliers_present() {
+        let spec = spec_suite();
+        let bzip2 = spec.iter().find(|p| p.name == "bzip2").unwrap();
+        assert!(bzip2.mean_gap >= 800);
+    }
+
+    #[test]
+    fn profiles_build_working_generators() {
+        for p in parsec_suite().iter().chain(spec_suite().iter()) {
+            let mut t = p.build(1 << 10, 5);
+            for _ in 0..100 {
+                assert!(t.next_access().addr < 1 << 10);
+            }
+        }
+    }
+}

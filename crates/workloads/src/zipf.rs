@@ -1,0 +1,113 @@
+//! Bounded Zipf sampler (rejection-inversion, after W. Hörmann &
+//! G. Derflinger, "Rejection-inversion to generate variates from monotone
+//! discrete distributions").
+
+use rand::{Rng, RngExt};
+
+/// Sampler for `P(k) ∝ (k+1)^-s` over `k ∈ 0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_n: f64,
+    q: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `s > 0`, `s != 1`
+    /// handled exactly; `s == 1` is nudged for the closed-form integral.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n >= 1);
+        assert!(s > 0.0);
+        let s = if (s - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { s };
+        let h = |x: f64| ((1.0 - s) * x.ln()).exp() / (1.0 - s) * x.signum();
+        // H(x) = x^(1-s)/(1-s), the integral of x^-s.
+        let h_x1 = h(1.5) - 1.0f64.powf(-s);
+        let h_n = h(n as f64 + 0.5);
+        Self {
+            n,
+            s,
+            h_n,
+            q: h_x1,
+        }
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        ((1.0 - self.s) * x.ln()).exp() / (1.0 - self.s)
+    }
+
+    #[inline]
+    fn h_inv(&self, x: f64) -> f64 {
+        ((1.0 - self.s) * x).powf(1.0 / (1.0 - self.s))
+    }
+
+    /// Draw one rank in `0..n` (0 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        loop {
+            let u = self.q + rng.random_range(0.0..1.0) * (self.h_n - self.q);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().max(1.0).min(self.n as f64);
+            if k - x <= self.q - self.h(1.5) + 1.0
+                || u >= self.h(k + 0.5) - (-self.s * k.ln()).exp()
+            {
+                return k as u64 - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // Rank 0 should carry roughly 1/H_1000 ≈ 13% of the mass.
+        assert!(
+            (5_000..25_000).contains(&counts[0]),
+            "rank-0 count {}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn single_item_degenerate() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn heavier_exponent_more_skew() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut count_top = |s: f64| {
+            let z = Zipf::new(500, s);
+            (0..50_000).filter(|_| z.sample(&mut rng) == 0).count()
+        };
+        let light = count_top(0.6);
+        let heavy = count_top(1.6);
+        assert!(heavy > light, "skew should grow with s: {light} vs {heavy}");
+    }
+}

@@ -1,0 +1,106 @@
+//! A guided tour of the paper's worked examples: Fig. 2 (Start-Gap round),
+//! Fig. 5 (Security Refresh round), Fig. 8 (a Dynamic Feistel Network
+//! round), printed the way the paper draws them.
+//!
+//! ```sh
+//! cargo run --release --example paper_tour
+//! ```
+
+use security_rbsg::core::{DfnMapping, IaSlot};
+use security_rbsg::wearlevel::{GapMapping, SrMapping};
+
+fn main() {
+    fig2_start_gap();
+    fig5_security_refresh();
+    fig8_dfn_round();
+}
+
+/// Fig. 2: an 8-line Start-Gap region through its first remapping round.
+fn fig2_start_gap() {
+    println!("== Fig. 2 — one Start-Gap remapping round (8 lines + gap) ==");
+    let mut m = GapMapping::new(8);
+    let render = |m: &GapMapping| {
+        let mut slots = vec!["GAP".to_string(); 9];
+        for ia in 0..8 {
+            slots[m.translate(ia) as usize] = format!("IA{ia}");
+        }
+        slots.join(" ")
+    };
+    println!("initial:          {}", render(&m));
+    m.advance();
+    println!("1st remapping:    {}", render(&m));
+    for _ in 1..8 {
+        m.advance();
+    }
+    println!("8th remapping:    {}", render(&m));
+    m.advance();
+    println!("next round:       {}  (start register = {})", render(&m), m.start());
+    println!();
+}
+
+/// Fig. 5: a 4-line SR region with key_p = 10b, key_c = 11b.
+fn fig5_security_refresh() {
+    println!("== Fig. 5 — one Security Refresh round (4 lines, keys 10→11) ==");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+    use rand::SeedableRng;
+    let mut m = SrMapping::with_keys(4, 0b11, 0b10);
+    let render = |m: &SrMapping| {
+        let mut slots = vec![String::new(); 4];
+        for la in 0..4 {
+            let name = ["A", "B", "C", "D"][la as usize];
+            slots[m.translate(la) as usize] = name.to_string();
+        }
+        format!("slots: {}   CRP={}", slots.join(" "), m.crp())
+    };
+    println!("initial (key 10):  {}", render(&m));
+    let s = m.advance(&mut rng);
+    println!("refresh LA0 {:?}:   {}", s, render(&m));
+    let s = m.advance(&mut rng);
+    println!("refresh LA1 {:?}:  {} (pair already moved — skip)", s, render(&m));
+    m.advance(&mut rng);
+    m.advance(&mut rng);
+    println!("round complete:    {} (all under key 11)", render(&m));
+    println!();
+}
+
+/// Fig. 8: a complete DFN remapping round on a 16-line bank, showing
+/// park → chase → unpark and the key roll.
+fn fig8_dfn_round() {
+    println!("== Fig. 8 — one Dynamic Feistel Network remapping round (16 lines) ==");
+    let mut dfn = DfnMapping::new(4, 3, 7);
+    let render = |d: &DfnMapping| {
+        let mut slots = vec!["·".to_string(); 17];
+        for la in 0..16 {
+            match d.translate(la) {
+                IaSlot::Line(ia) => slots[ia as usize] = format!("{la:X}"),
+                IaSlot::Spare => slots[16] = format!("{la:X}"),
+            }
+        }
+        format!(
+            "{} | spare: {}",
+            slots[..16].join(""),
+            if slots[16] == "·" { "-" } else { &slots[16] }
+        )
+    };
+    println!("start of round:   {}", render(&dfn));
+    let target = dfn.rounds_completed() + 1;
+    let mut mv = 0;
+    while dfn.rounds_completed() < target {
+        let m = dfn.advance();
+        mv += 1;
+        if mv <= 3 || dfn.rounds_completed() == target {
+            let what = match (m.src, m.dst) {
+                (IaSlot::Line(s), IaSlot::Spare) => format!("park slot {s} → spare"),
+                (IaSlot::Spare, IaSlot::Line(d)) => format!("unpark spare → slot {d}"),
+                (IaSlot::Line(s), IaSlot::Line(d)) => format!("move slot {s} → slot {d}"),
+                _ => unreachable!("spare-to-spare never happens"),
+            };
+            println!("movement {mv:>2} ({what:<22}): {}", render(&dfn));
+        } else if mv == 4 {
+            println!("   ⋮");
+        }
+    }
+    println!(
+        "round done after {mv} movements; keys rolled — every line now sits at ENC_Kc(la)"
+    );
+}

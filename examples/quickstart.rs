@@ -1,0 +1,51 @@
+//! Quickstart: build a Security RBSG-protected PCM bank, write to it, and
+//! watch the wear spread.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use security_rbsg::core::{SecurityRbsg, SecurityRbsgConfig};
+use security_rbsg::pcm::{LineData, MemoryController, TimingModel, WearSummary};
+
+fn main() {
+    // A small bank: 2^12 lines in 16 sub-regions, the paper's recommended
+    // 7-stage dynamic Feistel network.
+    let cfg = SecurityRbsgConfig {
+        width: 12,
+        sub_regions: 16,
+        inner_interval: 16,
+        outer_interval: 32,
+        stages: 7,
+        seed: 42,
+    };
+    let mut mc = MemoryController::new(SecurityRbsg::new(cfg), 1_000_000, TimingModel::PAPER);
+
+    // Ordinary use: data survives arbitrary remapping.
+    for la in 0..16 {
+        mc.write(la, LineData::Mixed(la as u32));
+    }
+    assert_eq!(mc.read(5).0, LineData::Mixed(5));
+    println!("wrote 16 lines; read-back OK");
+
+    // Hostile use: hammer one logical address two million times.
+    let hammered = 7u64;
+    mc.write_repeat(hammered, LineData::Ones, 2_000_000);
+    assert_eq!(mc.read(5).0, LineData::Mixed(5), "bystander data intact");
+
+    let s = WearSummary::from_wear(mc.bank().wear());
+    println!(
+        "after 2M writes to one address: wear min={} max={} mean={:.0} (CoV {:.2})",
+        s.min, s.max, s.mean, s.cov
+    );
+    println!(
+        "simulated time: {:.2} ms; DFN rounds completed: {}",
+        mc.now_secs() * 1e3,
+        mc.scheme().dfn().rounds_completed()
+    );
+    println!(
+        "the hottest line holds {:.1}x the mean wear — the hammered address kept \
+         moving, so no line took the beating alone",
+        s.max as f64 / s.mean
+    );
+}

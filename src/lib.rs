@@ -1,0 +1,9 @@
+//! Facade crate: re-exports the Security RBSG reproduction workspace.
+pub use srbsg_attacks as attacks;
+pub use srbsg_core as core;
+pub use srbsg_feistel as feistel;
+pub use srbsg_lifetime as lifetime;
+pub use srbsg_pcm as pcm;
+pub use srbsg_perf as perf;
+pub use srbsg_wearlevel as wearlevel;
+pub use srbsg_workloads as workloads;
