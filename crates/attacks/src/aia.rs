@@ -112,7 +112,11 @@ mod tests {
     fn blind_raa_on_table_scheme_is_much_weaker_than_aia() {
         let endurance = 5_000u64;
         let mk = || {
-            MemoryController::new(TableWearLeveling::new(64, 16), endurance, TimingModel::PAPER)
+            MemoryController::new(
+                TableWearLeveling::new(64, 16),
+                endurance,
+                TimingModel::PAPER,
+            )
         };
         let mut mc = mk();
         let raa = crate::RepeatedAddressAttack::default().run(&mut mc, u128::MAX >> 1);

@@ -50,9 +50,10 @@ impl BirthdayParadoxAttack {
         while mc.demand_writes() - start_writes < max_writes && !mc.failed() {
             let la = rng.random_range(0..lines);
             let budget_left = max_writes - (mc.demand_writes() - start_writes);
-            let cap = self.per_address_cap.min(budget_left.min(u64::MAX as u128) as u64);
-            let (_, resp) =
-                mc.write_until_slow(la, LineData::Ones, self.spike_threshold_ns, cap);
+            let cap = self
+                .per_address_cap
+                .min(budget_left.min(u64::MAX as u128) as u64);
+            let (_, resp) = mc.write_until_slow(la, LineData::Ones, self.spike_threshold_ns, cap);
             visits += 1;
             if resp.failed {
                 break;
@@ -92,12 +93,7 @@ mod tests {
             ..Default::default()
         }
         .run(&mut mc, 10_000);
-        let visits: u64 = out.notes[0]
-            .rsplit(' ')
-            .next()
-            .unwrap()
-            .parse()
-            .unwrap();
+        let visits: u64 = out.notes[0].rsplit(' ').next().unwrap().parse().unwrap();
         assert!(visits > 10, "expected many visits, got {visits}");
     }
 

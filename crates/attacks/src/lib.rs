@@ -41,10 +41,10 @@ pub use aia::AiaTableAttack;
 pub use bpa::BirthdayParadoxAttack;
 pub use raa::RepeatedAddressAttack;
 pub use rta_rbsg::RtaRbsg;
-pub use rta_sr::{RtaMultiWaySr, RtaSrOneLevel, RtaSrTwoLevel};
-pub use rta_sr::RtaSrReport;
-pub use rta_srbsg::{detection_margin, DetectionProbe, ProbeReport, RtaSecurityRbsg};
 pub use rta_rbsg::RtaRbsgReport;
+pub use rta_sr::RtaSrReport;
+pub use rta_sr::{RtaMultiWaySr, RtaSrOneLevel, RtaSrTwoLevel};
+pub use rta_srbsg::{detection_margin, DetectionProbe, ProbeReport, RtaSecurityRbsg};
 
 use srbsg_pcm::Ns;
 

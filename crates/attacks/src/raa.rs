@@ -74,7 +74,8 @@ mod tests {
     #[test]
     fn start_gap_extends_lifetime_by_roughly_line_count() {
         let endurance = 2_000u64;
-        let mut bare = MemoryController::new(NoWearLeveling::new(16), endurance, TimingModel::PAPER);
+        let mut bare =
+            MemoryController::new(NoWearLeveling::new(16), endurance, TimingModel::PAPER);
         let bare_out = RepeatedAddressAttack::default().run(&mut bare, u128::MAX >> 1);
 
         let mut leveled =

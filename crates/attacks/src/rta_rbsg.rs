@@ -139,8 +139,12 @@ impl RtaRbsg {
         trk.region_writes(n_r);
 
         let anchor_cap = (n_r + 2) * psi;
-        let (issued, resp) =
-            mc.write_until_slow(self.li, LineData::Ones, plain(LineData::Ones) + classify_cut, anchor_cap);
+        let (issued, resp) = mc.write_until_slow(
+            self.li,
+            LineData::Ones,
+            plain(LineData::Ones) + classify_cut,
+            anchor_cap,
+        );
         if resp.failed || resp.latency_ns <= plain(LineData::Ones) + classify_cut {
             return abort(mc, Vec::new(), spent(mc));
         }

@@ -105,8 +105,8 @@ impl RtaSrOneLevel {
         let mut recovered = Vec::new();
         let mut first_detection_writes = 0u128;
 
-        let finish = |mc: &mut MemoryController<W>, recovered: Vec<u64>, fdw, note: &str| {
-            RtaSrReport {
+        let finish =
+            |mc: &mut MemoryController<W>, recovered: Vec<u64>, fdw, note: &str| RtaSrReport {
                 outcome: AttackOutcome {
                     failed_memory: mc.failed(),
                     elapsed_ns: mc.now_ns(),
@@ -115,12 +115,15 @@ impl RtaSrOneLevel {
                 },
                 recovered_xors: recovered,
                 first_detection_writes: fdw,
-            }
-        };
+            };
 
         // ---------------- Phase A: anchor on line 0's round-start swap ----
         for la in 0..n_r {
-            let d = if la == 0 { LineData::Ones } else { LineData::Zeros };
+            let d = if la == 0 {
+                LineData::Ones
+            } else {
+                LineData::Zeros
+            };
             if mc.write(la, d).failed {
                 return finish(mc, recovered, 0, "failed during init sweep");
             }
@@ -256,8 +259,7 @@ impl RtaSrOneLevel {
                         occ ^= xor_key;
                     } else {
                         let k = trk.writes_until_past(flip_at);
-                        let budget =
-                            (max_writes - spent(mc)).min(k as u128) as u64;
+                        let budget = (max_writes - spent(mc)).min(k as u128) as u64;
                         if mc.write_repeat(occ, LineData::Ones, budget).failed {
                             break;
                         }
@@ -319,11 +321,7 @@ pub struct RtaSrTwoLevel {
 
 impl RtaSrTwoLevel {
     /// Run against a concrete two-level SR controller.
-    pub fn run(
-        &self,
-        mc: &mut MemoryController<TwoLevelSr>,
-        max_writes: u128,
-    ) -> AttackOutcome {
+    pub fn run(&self, mc: &mut MemoryController<TwoLevelSr>, max_writes: u128) -> AttackOutcome {
         let n = mc.logical_lines();
         let r = self.sub_regions;
         let n_r = n / r;
@@ -354,8 +352,8 @@ impl RtaSrTwoLevel {
                 }
                 // Swap observation: expected ~2·ψ_out hammer writes.
                 let wait = 2 * self.outer_interval + rng.random_range(0..self.outer_interval);
-                let target = (block << (n.trailing_zeros() - region_bits))
-                    | rng.random_range(0..n_r);
+                let target =
+                    (block << (n.trailing_zeros() - region_bits)) | rng.random_range(0..n_r);
                 if mc.write_repeat(target, LineData::Ones, wait).failed {
                     break 'outer;
                 }
@@ -441,8 +439,7 @@ impl RtaMultiWaySr {
         let shift = n.trailing_zeros() - way_bits;
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let start = mc.demand_writes();
-        let spent =
-            |mc: &MemoryController<srbsg_wearlevel::MultiWaySr>| mc.demand_writes() - start;
+        let spent = |mc: &MemoryController<srbsg_wearlevel::MultiWaySr>| mc.demand_writes() - start;
 
         let mut block: u64 = 0;
         let mut rounds = 0u64;

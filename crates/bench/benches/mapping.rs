@@ -89,5 +89,10 @@ fn bench_remap_steps(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_randomizers, bench_translation, bench_remap_steps);
+criterion_group!(
+    benches,
+    bench_randomizers,
+    bench_translation,
+    bench_remap_steps
+);
 criterion_main!(benches);

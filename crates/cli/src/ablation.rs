@@ -18,7 +18,11 @@ fn rbsg(seed: u64, dcw: bool) -> MemoryController<Rbsg<srbsg_feistel::FeistelNet
         data_comparison_write: dcw,
         ..TimingModel::PAPER
     };
-    MemoryController::new(Rbsg::with_feistel(&mut rng, WIDTH, 4, 16), ENDURANCE, timing)
+    MemoryController::new(
+        Rbsg::with_feistel(&mut rng, WIDTH, 4, 16),
+        ENDURANCE,
+        timing,
+    )
 }
 
 /// RAA writing the same data forever.
@@ -57,7 +61,12 @@ pub fn run(opts: &Opts) {
             dcw.to_string(),
             "constant ALL-1".into(),
             w.to_string(),
-            if mc.failed() { "FAILED" } else { "survived budget" }.into(),
+            if mc.failed() {
+                "FAILED"
+            } else {
+                "survived budget"
+            }
+            .into(),
         ]);
         let mut mc = rbsg(1, dcw);
         let w = raa_alternating(&mut mc);
@@ -65,7 +74,12 @@ pub fn run(opts: &Opts) {
             dcw.to_string(),
             "alternating 0/1".into(),
             w.to_string(),
-            if mc.failed() { "FAILED" } else { "survived budget" }.into(),
+            if mc.failed() {
+                "FAILED"
+            } else {
+                "survived budget"
+            }
+            .into(),
         ]);
     }
     t.print();

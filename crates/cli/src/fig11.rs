@@ -7,7 +7,11 @@ use crate::table::{fmt_secs, Table};
 use crate::Opts;
 
 pub fn run(opts: &Opts) {
-    let regions: &[u64] = if opts.quick { &[32, 64] } else { &[32, 64, 128] };
+    let regions: &[u64] = if opts.quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128]
+    };
     let intervals: &[u64] = if opts.quick {
         &[16, 100]
     } else {

@@ -15,6 +15,8 @@
 //!   detect    RTA detection demonstrations (§III mechanics)
 //!   normal    Benign-workload lifetime across schemes (§I motivation)
 //!   ablation  DCW and delayed-write-buffer ablations
+//!   faults    Fault-injection sweep (endurance variation × retry budget ×
+//!             spare pool) + RTA signature blur from verify-retries
 //!   all       Everything above
 //! ```
 //!
@@ -25,6 +27,7 @@
 
 mod ablation;
 mod detect;
+mod faults;
 mod fig11;
 mod fig12;
 mod fig13;
@@ -108,6 +111,7 @@ fn main() {
         "detect" => detect::run(&opts),
         "normal" => normal::run(&opts),
         "ablation" => ablation::run(&opts),
+        "faults" => faults::run(&opts),
         "all" => {
             fig11::run(&opts);
             fig12::run(&opts);
@@ -120,6 +124,7 @@ fn main() {
             detect::run(&opts);
             normal::run(&opts);
             ablation::run(&opts);
+            faults::run(&opts);
         }
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -129,7 +134,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|all> \
          [--quick] [--seeds N] [--out DIR]"
     );
     std::process::exit(2);

@@ -27,7 +27,9 @@ fn measure<W: WearLeveler>(wl: W, zipf: bool) -> f64 {
         let mut t = SequentialTrace::new(LINES, 1.0, 0, 42);
         workload_lifetime(mc, &mut t, (ideal * 1.5) as u128)
     };
-    lifetime.map(|l| l.writes as f64 / ideal).unwrap_or(f64::NAN)
+    lifetime
+        .map(|l| l.writes as f64 / ideal)
+        .unwrap_or(f64::NAN)
 }
 
 pub fn run(opts: &Opts) {
@@ -60,7 +62,10 @@ pub fn run(opts: &Opts) {
     ]);
     t.row(vec![
         "security-refresh".into(),
-        format!("{:.3}", measure(SecurityRefresh::new(LINES, 16, 16, 3), true)),
+        format!(
+            "{:.3}",
+            measure(SecurityRefresh::new(LINES, 16, 16, 3), true)
+        ),
         format!(
             "{:.3}",
             measure(SecurityRefresh::new(LINES, 16, 16, 3), false)
@@ -68,7 +73,10 @@ pub fn run(opts: &Opts) {
     ]);
     t.row(vec![
         "two-level-sr".into(),
-        format!("{:.3}", measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), true)),
+        format!(
+            "{:.3}",
+            measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), true)
+        ),
         format!(
             "{:.3}",
             measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), false)
@@ -76,7 +84,10 @@ pub fn run(opts: &Opts) {
     ]);
     t.row(vec![
         "multi-way-sr".into(),
-        format!("{:.3}", measure(MultiWaySr::new(LINES, 16, 16, 32, 3), true)),
+        format!(
+            "{:.3}",
+            measure(MultiWaySr::new(LINES, 16, 16, 32, 3), true)
+        ),
         format!(
             "{:.3}",
             measure(MultiWaySr::new(LINES, 16, 16, 32, 3), false)

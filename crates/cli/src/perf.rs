@@ -9,12 +9,7 @@ use srbsg_workloads::{parsec_suite, spec_suite, BenchProfile};
 use crate::table::Table;
 use crate::Opts;
 
-fn run_bench(
-    profile: &BenchProfile,
-    width: u32,
-    inner_interval: u64,
-    cfg: &PerfConfig,
-) -> f64 {
+fn run_bench(profile: &BenchProfile, width: u32, inner_interval: u64, cfg: &PerfConfig) -> f64 {
     let lines = 1u64 << width;
     let seed = 7;
 

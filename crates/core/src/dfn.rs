@@ -312,9 +312,7 @@ mod tests {
     impl Model {
         fn new(width: u32, stages: usize, seed: u64) -> Self {
             let dfn = DfnMapping::new(width, stages, seed);
-            let mem = (0..dfn.lines())
-                .map(|la| (dfn.translate(la), la))
-                .collect();
+            let mem = (0..dfn.lines()).map(|la| (dfn.translate(la), la)).collect();
             Self { dfn, mem }
         }
 
@@ -462,7 +460,7 @@ mod tests {
                 moves += 1;
             }
             assert!(
-                moves <= 2 * 64 && moves >= 2,
+                (2..=2 * 64).contains(&moves),
                 "implausible movement count {moves}"
             );
         }

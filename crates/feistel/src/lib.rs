@@ -155,7 +155,11 @@ impl FeistelNetwork {
     /// Panics if `width` is not in `2..=62` or `keys` is empty.
     pub fn new(width: u32, keys: KeyArray) -> Self {
         assert!((2..=62).contains(&width), "address width must be 2..=62");
-        let inner_width = if width.is_multiple_of(2) { width } else { width + 1 };
+        let inner_width = if width.is_multiple_of(2) {
+            width
+        } else {
+            width + 1
+        };
         let half = inner_width / 2;
         Self {
             width,
@@ -168,7 +172,11 @@ impl FeistelNetwork {
 
     /// Build with `stages` random keys drawn from `rng`.
     pub fn random<R: Rng + ?Sized>(rng: &mut R, width: u32, stages: usize) -> Self {
-        let inner_width = if width.is_multiple_of(2) { width } else { width + 1 };
+        let inner_width = if width.is_multiple_of(2) {
+            width
+        } else {
+            width + 1
+        };
         let keys = KeyArray::random(rng, stages, inner_width / 2);
         Self::new(width, keys)
     }

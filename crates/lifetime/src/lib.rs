@@ -20,11 +20,13 @@
 //!    (RAA on Start-Gap rotations, the paper's detection-cost model for
 //!    RTA on two-level SR, ideal lifetime).
 
+mod faults;
 mod rbsg;
 mod sr2;
 mod srbsg;
 mod workload;
 
+pub use faults::{srbsg_raa_degraded_exact, srbsg_raa_degraded_lifetime, DegradationLifetime};
 pub use rbsg::{rbsg_raa_lifetime, rbsg_raa_writes, rbsg_rta_lifetime};
 pub use sr2::{sr2_raa_lifetime, sr2_rta_lifetime};
 pub use srbsg::{

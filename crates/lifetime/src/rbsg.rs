@@ -85,9 +85,11 @@ mod tests {
     /// The closed form must match the exact simulation.
     #[test]
     fn raa_closed_form_matches_exact_simulation() {
-        for (width, regions, interval, endurance) in
-            [(6u32, 1u64, 4u64, 2_000u64), (7, 2, 8, 1_000), (5, 4, 3, 800)]
-        {
+        for (width, regions, interval, endurance) in [
+            (6u32, 1u64, 4u64, 2_000u64),
+            (7, 2, 8, 1_000),
+            (5, 4, 3, 800),
+        ] {
             let params = PcmParams::small(width, endurance);
             let mut rng = StdRng::seed_from_u64(3);
             let wl = Rbsg::with_feistel(&mut rng, width, regions, interval);

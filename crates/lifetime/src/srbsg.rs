@@ -153,7 +153,7 @@ impl RaaEngine {
 /// Convert a write count into a [`Lifetime`] with the scheme's amortized
 /// remap overhead: one inner move per ψ_in region writes, one outer move
 /// per ψ_out bank writes.
-fn finish(params: &PcmParams, cfg: &SrbsgParams, writes: u128) -> Lifetime {
+pub(crate) fn finish(params: &PcmParams, cfg: &SrbsgParams, writes: u128) -> Lifetime {
     let t = params.timing;
     // Demand writes are attacker SETs; movements mostly move mixed/set
     // data (read + SET).
@@ -269,8 +269,8 @@ pub fn srbsg_rta_lifetime(params: &PcmParams, cfg: &SrbsgParams, seed: u64) -> L
     let mut wear = 0.0f64;
     let mut total = 0.0f64;
     while wear < params.endurance as f64 {
-        let detection = cfg.stages as f64 * b * (n / cfg.sub_regions as f64)
-            * rng.random_range(0.5..1.0);
+        let detection =
+            cfg.stages as f64 * b * (n / cfg.sub_regions as f64) * rng.random_range(0.5..1.0);
         let hammer = (round_writes - detection).max(0.0);
         wear += hammer / n_r;
         total += round_writes;
@@ -423,6 +423,9 @@ mod tests {
             g_many < g_few,
             "more writes should even out wear: gini {g_few} -> {g_many}"
         );
-        assert!(g_many < 0.2, "long-run wear should be near-uniform: {g_many}");
+        assert!(
+            g_many < 0.2,
+            "long-run wear should be near-uniform: {g_many}"
+        );
     }
 }

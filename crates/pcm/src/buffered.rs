@@ -73,7 +73,8 @@ impl<W: WearLeveler> BufferedController<W> {
             failed = resp.failed;
         }
         self.entries.push_back((la, data));
-        self.inner.advance_clock((t.sram_ns + t.translation_ns) as Ns);
+        self.inner
+            .advance_clock((t.sram_ns + t.translation_ns) as Ns);
         WriteResponse {
             latency_ns: latency,
             failed,

@@ -1,7 +1,10 @@
 //! The memory controller: couples a wear-leveling scheme with a bank and
 //! exposes the latency side channel.
 
-use crate::{LineAddr, LineData, Ns, PcmBank, TimingModel, WearLeveler};
+use crate::{
+    DegradationReport, FaultConfig, FaultStats, LineAddr, LineData, Ns, PcmBank, PcmError,
+    TimingModel, WearLeveler,
+};
 
 /// Outcome of one demand write, as observable by software.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,6 +42,31 @@ impl<W: WearLeveler> MemoryController<W> {
             now: 0,
             demand_writes: 0,
         }
+    }
+
+    /// Build a controller over a fault-injected bank (see
+    /// [`crate::FaultConfig`]): the device has endurance variation,
+    /// transient write failures with verify-retry, ECP budgets, and a spare
+    /// pool, all transparent to the wear-leveling scheme.
+    pub fn with_faults(wl: W, endurance: u64, timing: TimingModel, cfg: FaultConfig) -> Self {
+        let mut bank = PcmBank::with_faults(wl.physical_slots(), endurance, timing, cfg);
+        wl.init_bank(&mut bank);
+        Self {
+            bank,
+            wl,
+            now: 0,
+            demand_writes: 0,
+        }
+    }
+
+    /// How far the device has degraded (see [`DegradationReport`]).
+    pub fn degradation_report(&self) -> DegradationReport {
+        self.bank.degradation_report()
+    }
+
+    /// Fault and retry counters (all zero on an ideal bank).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.bank.fault_stats()
     }
 
     /// Number of logical lines exposed to software.
@@ -94,9 +122,32 @@ impl<W: WearLeveler> MemoryController<W> {
         self.now += ns;
     }
 
-    /// Service one demand write.
+    #[inline]
+    fn check_la(&self, la: LineAddr) -> Result<(), PcmError> {
+        let lines = self.wl.logical_lines();
+        if la < lines {
+            Ok(())
+        } else {
+            Err(PcmError::AddressOutOfRange { la, lines })
+        }
+    }
+
+    /// Service one demand write, validating the address. This is the typed
+    /// entry point; out-of-range addresses are rejected in release builds
+    /// too, instead of silently corrupting the scheme's mapping state.
+    pub fn try_write(&mut self, la: LineAddr, data: LineData) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
+        Ok(self.write_unchecked(la, data))
+    }
+
+    /// Service one demand write. Panics on an out-of-range address; use
+    /// [`MemoryController::try_write`] for a typed error instead.
     pub fn write(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
-        debug_assert!(la < self.wl.logical_lines());
+        self.try_write(la, data)
+            .expect("demand write outside the logical address space")
+    }
+
+    fn write_unchecked(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
         let mut latency = self.bank.timing().translation_ns as Ns;
         latency += self.wl.before_write(la, &mut self.bank);
         let slot = self.wl.translate(la);
@@ -109,13 +160,32 @@ impl<W: WearLeveler> MemoryController<W> {
         }
     }
 
-    /// Service one demand read.
-    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+    /// Service one demand read, validating the address.
+    pub fn try_read(&mut self, la: LineAddr) -> Result<(LineData, Ns), PcmError> {
+        self.check_la(la)?;
         let slot = self.wl.translate(la);
         let (data, mut latency) = self.bank.read_line_timed(slot);
         latency += self.bank.timing().translation_ns as Ns;
         self.now += latency;
-        (data, latency)
+        Ok((data, latency))
+    }
+
+    /// Service one demand read. Panics on an out-of-range address; use
+    /// [`MemoryController::try_read`] for a typed error instead.
+    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+        self.try_read(la)
+            .expect("demand read outside the logical address space")
+    }
+
+    /// Typed variant of [`MemoryController::write_repeat`].
+    pub fn try_write_repeat(
+        &mut self,
+        la: LineAddr,
+        data: LineData,
+        count: u64,
+    ) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
+        Ok(self.write_repeat_unchecked(la, data, count))
     }
 
     /// Service `count` consecutive writes of the same `data` to `la`,
@@ -124,24 +194,38 @@ impl<W: WearLeveler> MemoryController<W> {
     /// Semantically identical to an attacker loop that calls
     /// [`MemoryController::write`] up to `count` times and stops on the
     /// first failed response (asserted by property tests), but runs in
-    /// `O(remap events)`. Returns the response of the last write issued.
+    /// `O(remap events)` — on fault-injected banks, `O(remap + fault
+    /// events)`. Returns the response of the last write issued. Panics on
+    /// an out-of-range address; see [`MemoryController::try_write_repeat`].
     pub fn write_repeat(&mut self, la: LineAddr, data: LineData, count: u64) -> WriteResponse {
+        self.check_la(la)
+            .expect("demand write outside the logical address space");
+        self.write_repeat_unchecked(la, data, count)
+    }
+
+    fn write_repeat_unchecked(
+        &mut self,
+        la: LineAddr,
+        data: LineData,
+        count: u64,
+    ) -> WriteResponse {
         let mut remaining = count;
         let mut last = WriteResponse {
             latency_ns: 0,
             failed: self.bank.failed(),
         };
         while remaining > 0 {
-            // Cap each bulk stretch at the writes needed to wear out the
-            // current slot, so the loop stops at the failing write exactly
-            // as a response-checking attacker would.
-            let to_fail = if self.bank.failed() {
+            // Cap each bulk stretch at the writes guaranteed free of fault
+            // events and endurance crossings, so event-carrying writes take
+            // the exact path and the loop stops at the failing write
+            // exactly as a response-checking attacker would.
+            let to_event = if self.bank.failed() {
                 remaining
             } else {
                 let slot = self.wl.translate(la);
-                (self.bank.endurance() - self.bank.wear_of(slot)).max(1)
+                self.bank.bulk_safe_writes(slot)
             };
-            let quiet = self.wl.writes_until_remap(la).min(remaining).min(to_fail);
+            let quiet = self.wl.writes_until_remap(la).min(remaining).min(to_event);
             if quiet > 0 {
                 let slot = self.wl.translate(la);
                 let bulk_lat = self.bank.write_line_bulk(slot, data, quiet)
@@ -164,7 +248,7 @@ impl<W: WearLeveler> MemoryController<W> {
                 }
             }
             if remaining > 0 {
-                last = self.write(la, data);
+                last = self.write_unchecked(la, data);
                 remaining -= 1;
             }
             if last.failed {

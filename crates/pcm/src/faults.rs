@@ -1,0 +1,610 @@
+//! Deterministic fault injection and graceful degradation for PCM banks.
+//!
+//! Real PCM cells do not all die at write 10^8 (the constant the rest of
+//! the workspace assumes): endurance is roughly lognormal across lines,
+//! writes start failing *transiently* (a program pulse that does not
+//! verify) well before hard wear-out, and a production part survives its
+//! first dead cells through a ladder of mitigations — program-and-verify
+//! retries, per-line error-correcting pointers (ECP, Schechter et al.
+//! ISCA'10), and controller-level spare lines. This module models that
+//! ladder so the attack/lifetime results of the reproduction can be
+//! reported against a device that degrades gracefully instead of dying at
+//! the first worn-out line.
+//!
+//! Everything is **deterministic per (seed, slot)**: each physical line
+//! owns a SplitMix64 draw stream, so the exact write-by-write simulation
+//! path and the fast-forward bulk path consume identical event sequences —
+//! [`crate::PcmBank::write_line`] looped `n` times is byte-equivalent to
+//! one [`crate::PcmBank::write_line_bulk`] of `n` (asserted by property
+//! tests). The fault machinery is event-driven: between two scheduled
+//! events wear accumulates in O(1) chunks, so fast-forward simulation
+//! keeps its `O(remap events)` complexity.
+//!
+//! The model:
+//!
+//! * **Endurance variation** — line `l` wears out at `E_l = E · m_l`,
+//!   `m_l` lognormal with mean 1 and coefficient of variation
+//!   [`FaultConfig::endurance_cov`].
+//! * **Transient write failures** — a write fails verification with an
+//!   instantaneous hazard `p(w) = transient_prob + wearout_boost ·
+//!   (w/E_l)^4` at wear `w`: a small floor plus a steep rise as the line
+//!   approaches wear-out. Failure times are drawn by inverting the
+//!   cumulative hazard, so quiet stretches are skipped in O(1).
+//! * **Program-and-verify retries** — each transient failure triggers up
+//!   to [`FaultConfig::max_retries`] re-pulses; every retry costs a verify
+//!   read plus a re-program pulse (visible in the returned latency — noise
+//!   on top of the RTA side channel) and one extra unit of wear. A retry
+//!   itself fails with probability [`FaultConfig::retry_fail_ratio`].
+//! * **ECP budget** — a line that exhausts its retries, or crosses its
+//!   wear-out threshold, consumes one of [`FaultConfig::ecp_entries`]
+//!   correction entries; wear-out consumes a further entry every
+//!   [`FaultConfig::ecp_wear_step`] writes past `E_l`.
+//! * **Spare-line pool** — when a line's ECP budget is gone it is retired:
+//!   its data moves to one of [`FaultConfig::spare_lines`] spare slots and
+//!   a controller redirect makes the replacement transparent to the
+//!   wear-leveling scheme. Only when the pool is empty does the bank
+//!   report failure — *capacity exhaustion* in the
+//!   [`DegradationReport`].
+
+use std::fmt;
+
+use crate::stats::FaultStats;
+use crate::{FailureInfo, LineAddr};
+
+/// Error type for the typed (non-panicking) controller entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcmError {
+    /// A demand access addressed a logical line outside the exposed space.
+    AddressOutOfRange {
+        /// The offending logical address.
+        la: LineAddr,
+        /// Number of logical lines actually exposed.
+        lines: u64,
+    },
+}
+
+impl fmt::Display for PcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcmError::AddressOutOfRange { la, lines } => {
+                write!(
+                    f,
+                    "logical address {la} outside address space of {lines} lines"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PcmError {}
+
+/// Configuration of the fault model. `FaultConfig::default()` is inert:
+/// every knob zero, reproducing the seed simulator's fixed-endurance,
+/// fail-at-first-dead-line behavior byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed for all per-line draw streams.
+    pub seed: u64,
+    /// Coefficient of variation of the lognormal per-line endurance
+    /// multiplier (0 = every line wears out at exactly the bank endurance).
+    pub endurance_cov: f64,
+    /// Floor probability that a write's first program pulse fails
+    /// verification, independent of wear.
+    pub transient_prob: f64,
+    /// Wear-dependent term of the transient hazard: added failure
+    /// probability `wearout_boost · (wear / E_l)^4`.
+    pub wearout_boost: f64,
+    /// Verify-retry budget per failed write. 0 means no retry: any
+    /// transient failure immediately falls through to ECP.
+    pub max_retries: u32,
+    /// Probability that an individual retry pulse also fails verification.
+    pub retry_fail_ratio: f64,
+    /// Per-line error-correcting-pointer entries.
+    pub ecp_entries: u32,
+    /// Wear-out consumes one further ECP entry every this many writes past
+    /// the line's endurance (must be ≥ 1 when `ecp_entries > 0`).
+    pub ecp_wear_step: u64,
+    /// Spare lines provisioned per bank for retiring dead lines.
+    pub spare_lines: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            endurance_cov: 0.0,
+            transient_prob: 0.0,
+            wearout_boost: 0.0,
+            max_retries: 0,
+            retry_fail_ratio: 0.0,
+            ecp_entries: 0,
+            ecp_wear_step: 1,
+            spare_lines: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Check invariants, panicking on nonsense values. Called by the bank
+    /// constructor.
+    pub fn validated(self) -> Self {
+        assert!(self.endurance_cov >= 0.0 && self.endurance_cov.is_finite());
+        assert!((0.0..=1.0).contains(&self.transient_prob));
+        assert!(self.wearout_boost >= 0.0 && self.wearout_boost.is_finite());
+        assert!((0.0..=1.0).contains(&self.retry_fail_ratio));
+        assert!(
+            self.ecp_entries == 0 || self.ecp_wear_step >= 1,
+            "ecp_wear_step must be >= 1 when ECP entries are provisioned"
+        );
+        self
+    }
+
+    /// The same configuration with a different stream seed (used to give
+    /// each bank of a multi-bank system independent fault draws).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether every knob is zero, i.e. the model cannot produce any event.
+    pub fn is_inert(&self) -> bool {
+        self.endurance_cov == 0.0
+            && self.transient_prob == 0.0
+            && self.wearout_boost == 0.0
+            && self.ecp_entries == 0
+            && self.spare_lines == 0
+    }
+}
+
+/// How a fault-injected bank has degraded so far — the graded replacement
+/// for the seed simulator's binary `failed` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// First fault the mitigation ladder absorbed (a transient failure or
+    /// an ECP consumption): the earliest moment the device was no longer
+    /// pristine.
+    pub first_correctable: Option<FailureInfo>,
+    /// First line decommissioned to a spare.
+    pub first_retirement: Option<FailureInfo>,
+    /// The bank ran out of spares — the fault-model meaning of "failed".
+    pub capacity_exhaustion: Option<FailureInfo>,
+    /// Event counters.
+    pub stats: FaultStats,
+}
+
+impl DegradationReport {
+    /// Merge another bank's report (earliest milestone per category by its
+    /// own bank-local write count; counters summed).
+    pub fn merge(&mut self, other: &DegradationReport) {
+        let earliest = |a: &mut Option<FailureInfo>, b: Option<FailureInfo>| {
+            *a = match (*a, b) {
+                (Some(x), Some(y)) => Some(if y.at_write < x.at_write { y } else { x }),
+                (x, y) => x.or(y),
+            };
+        };
+        earliest(&mut self.first_correctable, other.first_correctable);
+        earliest(&mut self.first_retirement, other.first_retirement);
+        earliest(&mut self.capacity_exhaustion, other.capacity_exhaustion);
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// One SplitMix64 step: the draw primitive behind every per-line stream.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map 64 random bits to `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Cumulative transient hazard `H(w) = p0·w + boost·w^5 / (5·E_l^4)` — the
+/// integral of the instantaneous failure probability up to wear `w`.
+fn cumulative_hazard(cfg: &FaultConfig, e_l: f64, w: f64) -> f64 {
+    cfg.transient_prob * w + cfg.wearout_boost * w.powi(5) / (5.0 * e_l.powi(4))
+}
+
+/// Draw the wear index of the next transient write failure strictly after
+/// `wear`, by inverting the cumulative hazard (inhomogeneous-Poisson
+/// sampling). Returns `u64::MAX` when no failure lands within ~4 endurance
+/// lifetimes (the line dies of wear-out long before that).
+fn draw_next_transient(cfg: &FaultConfig, e_l: u64, wear: u64, stream: &mut u64) -> u64 {
+    if cfg.transient_prob <= 0.0 && cfg.wearout_boost <= 0.0 {
+        return u64::MAX;
+    }
+    let e = e_l as f64;
+    // -ln(1-u) is Exp(1); 1-u ∈ (2^-53, 1] so the log is finite.
+    let exp = -(1.0 - unit_f64(splitmix64(stream))).ln();
+    let target = cumulative_hazard(cfg, e, wear as f64) + exp;
+    let mut lo = wear as f64;
+    let mut hi = (e * 4.0 + 16.0).max(lo + 16.0);
+    if cumulative_hazard(cfg, e, hi) < target {
+        return u64::MAX;
+    }
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if cumulative_hazard(cfg, e, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    (hi.ceil() as u64).max(wear + 1)
+}
+
+/// Lazily materialized fault state of one physical line.
+#[derive(Debug, Clone)]
+struct LineFaults {
+    /// This line's drawn endurance (wear at which degradation starts).
+    endurance: u64,
+    /// Wear index of the next scheduled transient write failure.
+    next_transient: u64,
+    /// Wear index of the next wear-out ECP consumption (or death).
+    next_ecp: u64,
+    /// Remaining error-correcting-pointer entries.
+    ecp_left: u32,
+    /// Private draw stream.
+    stream: u64,
+}
+
+/// Per-bank fault machinery. Owned by [`crate::PcmBank`]; all mutation of
+/// wear/data/clock stays in the bank, this struct owns only the stochastic
+/// schedule, the redirect table, and the report.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    cfg: FaultConfig,
+    /// Materialized per-line state, keyed by physical slot. Lazy: a
+    /// paper-scale bank only materializes lines that are actually written.
+    lines: std::collections::HashMap<LineAddr, LineFaults>,
+    /// Retired line → replacement slot.
+    redirects: std::collections::HashMap<LineAddr, LineAddr>,
+    pub(crate) stats: FaultStats,
+    pub(crate) first_correctable: Option<FailureInfo>,
+    pub(crate) first_retirement: Option<FailureInfo>,
+    /// Spare pool empty and a line has died: the bank is failed.
+    pub(crate) exhausted: bool,
+}
+
+/// Outcome of one transient write-failure event.
+pub(crate) struct TransientOutcome {
+    /// Retry pulses issued (each costs a verify read + re-pulse and 1 wear).
+    pub attempts: u32,
+    /// The retry budget ran out without a verified write.
+    pub stuck: bool,
+}
+
+impl FaultState {
+    pub(crate) fn new(cfg: FaultConfig) -> Self {
+        Self {
+            stats: FaultStats {
+                spares_total: cfg.spare_lines,
+                ..FaultStats::default()
+            },
+            cfg,
+            lines: std::collections::HashMap::new(),
+            redirects: std::collections::HashMap::new(),
+            first_correctable: None,
+            first_retirement: None,
+            exhausted: false,
+        }
+    }
+
+    pub(crate) fn cfg(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Follow retirement redirects to the live replacement slot.
+    pub(crate) fn resolve(&self, mut slot: LineAddr) -> LineAddr {
+        while let Some(&next) = self.redirects.get(&slot) {
+            slot = next;
+        }
+        slot
+    }
+
+    fn line(&mut self, slot: LineAddr, base_endurance: u64, wear: u64) -> &mut LineFaults {
+        let cfg = self.cfg;
+        self.lines.entry(slot).or_insert_with(|| {
+            let mut stream =
+                cfg.seed ^ slot.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+            let endurance = if cfg.endurance_cov > 0.0 {
+                // Lognormal with mean 1: exp(σz − σ²/2), σ² = ln(1+cov²).
+                let sigma2 = (1.0 + cfg.endurance_cov * cfg.endurance_cov).ln();
+                let u1 = 1.0 - unit_f64(splitmix64(&mut stream));
+                let u2 = unit_f64(splitmix64(&mut stream));
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                let m = (sigma2.sqrt() * z - sigma2 / 2.0).exp();
+                ((base_endurance as f64) * m).round().max(1.0) as u64
+            } else {
+                base_endurance
+            };
+            let next_transient = draw_next_transient(&cfg, endurance, wear, &mut stream);
+            LineFaults {
+                endurance,
+                next_transient,
+                next_ecp: endurance,
+                ecp_left: cfg.ecp_entries,
+                stream,
+            }
+        })
+    }
+
+    /// The two pending event points of `slot` (transient, wear-out/ECP),
+    /// materializing the line on first touch.
+    pub(crate) fn line_points(
+        &mut self,
+        slot: LineAddr,
+        base_endurance: u64,
+        wear: u64,
+    ) -> (u64, u64) {
+        let st = self.line(slot, base_endurance, wear);
+        (st.next_transient, st.next_ecp)
+    }
+
+    /// Process a transient write failure on `slot`: draw the retry outcome
+    /// and reschedule the next failure. The caller applies wear/latency.
+    pub(crate) fn on_transient(
+        &mut self,
+        slot: LineAddr,
+        base_endurance: u64,
+        wear: u64,
+        at_write: u128,
+    ) -> TransientOutcome {
+        let cfg = self.cfg;
+        let st = self.line(slot, base_endurance, wear);
+        let mut fails = 0u32;
+        while fails < cfg.max_retries && unit_f64(splitmix64(&mut st.stream)) < cfg.retry_fail_ratio
+        {
+            fails += 1;
+        }
+        let stuck = fails >= cfg.max_retries;
+        let attempts = if stuck { cfg.max_retries } else { fails + 1 };
+        self.stats.transient_faults += 1;
+        self.stats.retries_issued += attempts as u64;
+        if stuck {
+            self.stats.retry_exhaustions += 1;
+        }
+        if self.first_correctable.is_none() {
+            self.first_correctable = Some(FailureInfo { slot, at_write });
+        }
+        TransientOutcome { attempts, stuck }
+    }
+
+    /// Reschedule the next transient failure of `slot` after its wear moved
+    /// to `wear` (post-retry).
+    pub(crate) fn reschedule_transient(&mut self, slot: LineAddr, base_endurance: u64, wear: u64) {
+        let cfg = self.cfg;
+        let st = self.line(slot, base_endurance, wear);
+        let endurance = st.endurance;
+        st.next_transient = draw_next_transient(&cfg, endurance, wear, &mut st.stream);
+    }
+
+    /// Try to absorb one uncorrectable event on `slot` with an ECP entry.
+    /// Returns `false` when the budget is gone (the line must be retired).
+    /// `advance_schedule` moves the wear-out consumption point forward one
+    /// step (true for wear-out events, false for retry exhaustion).
+    pub(crate) fn consume_ecp(
+        &mut self,
+        slot: LineAddr,
+        base_endurance: u64,
+        wear: u64,
+        at_write: u128,
+        advance_schedule: bool,
+    ) -> bool {
+        let step = self.cfg.ecp_wear_step.max(1);
+        let st = self.line(slot, base_endurance, wear);
+        if st.ecp_left == 0 {
+            return false;
+        }
+        st.ecp_left -= 1;
+        if advance_schedule {
+            st.next_ecp += step;
+        }
+        self.stats.ecp_entries_consumed += 1;
+        if self.first_correctable.is_none() {
+            self.first_correctable = Some(FailureInfo { slot, at_write });
+        }
+        true
+    }
+
+    /// Retire `slot`: allocate a spare and install the redirect. Returns the
+    /// spare's physical slot, or `None` when the pool is exhausted (the
+    /// caller records bank failure).
+    pub(crate) fn retire(
+        &mut self,
+        slot: LineAddr,
+        base_slots: u64,
+        at_write: u128,
+    ) -> Option<LineAddr> {
+        if self.stats.spares_used < self.cfg.spare_lines {
+            self.stats.lines_retired += 1;
+            if self.first_retirement.is_none() {
+                self.first_retirement = Some(FailureInfo { slot, at_write });
+            }
+            let spare = base_slots + self.stats.spares_used;
+            self.stats.spares_used += 1;
+            self.redirects.insert(slot, spare);
+            Some(spare)
+        } else {
+            // No spare to retire onto: the death is capacity exhaustion,
+            // recorded by the bank, not a retirement.
+            self.exhausted = true;
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_config_detection() {
+        assert!(FaultConfig::default().is_inert());
+        let cfg = FaultConfig {
+            transient_prob: 1e-6,
+            ..FaultConfig::default()
+        };
+        assert!(!cfg.is_inert());
+        let cfg = FaultConfig {
+            spare_lines: 4,
+            ..FaultConfig::default()
+        };
+        assert!(!cfg.is_inert());
+    }
+
+    #[test]
+    fn endurance_draws_are_deterministic_and_centered() {
+        let cfg = FaultConfig {
+            seed: 7,
+            endurance_cov: 0.25,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultState::new(cfg);
+        let mut b = FaultState::new(cfg);
+        let base = 1_000_000u64;
+        let mut sum = 0.0;
+        let n = 2_000u64;
+        for slot in 0..n {
+            let ea = a.line(slot, base, 0).endurance;
+            let eb = b.line(slot, base, 0).endurance;
+            assert_eq!(ea, eb, "slot {slot} must draw deterministically");
+            sum += ea as f64;
+        }
+        let mean = sum / n as f64 / base as f64;
+        assert!(
+            (0.95..1.05).contains(&mean),
+            "lognormal multiplier should have mean ~1, got {mean}"
+        );
+    }
+
+    #[test]
+    fn transient_schedule_inverts_hazard() {
+        // With a flat hazard p, gaps should average ~1/p.
+        let cfg = FaultConfig {
+            seed: 3,
+            transient_prob: 1e-3,
+            ..FaultConfig::default()
+        };
+        let mut stream = 99u64;
+        let mut wear = 0u64;
+        let mut gaps = Vec::new();
+        for _ in 0..500 {
+            let next = draw_next_transient(&cfg, 1_000_000_000, wear, &mut stream);
+            gaps.push((next - wear) as f64);
+            wear = next;
+        }
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!(
+            (600.0..1_600.0).contains(&mean),
+            "flat hazard 1e-3 should give mean gap ~1000, got {mean}"
+        );
+    }
+
+    #[test]
+    fn rising_hazard_shrinks_gaps_near_wearout() {
+        let cfg = FaultConfig {
+            seed: 5,
+            wearout_boost: 0.05,
+            ..FaultConfig::default()
+        };
+        let e = 1_000_000u64;
+        // Average a few draws at low vs high wear.
+        let avg_gap = |wear: u64| {
+            let mut s = 42u64;
+            let mut total = 0u128;
+            for _ in 0..50 {
+                let next = draw_next_transient(&cfg, e, wear, &mut s);
+                total += (next.min(8 * e) - wear) as u128;
+            }
+            total / 50
+        };
+        assert!(
+            avg_gap(e * 9 / 10) < avg_gap(e / 10) / 4,
+            "hazard must rise sharply near endurance"
+        );
+    }
+
+    #[test]
+    fn zero_hazard_never_schedules() {
+        let cfg = FaultConfig::default();
+        let mut stream = 1u64;
+        assert_eq!(draw_next_transient(&cfg, 100, 0, &mut stream), u64::MAX);
+    }
+
+    #[test]
+    fn retire_walks_spare_pool_then_exhausts() {
+        let cfg = FaultConfig {
+            spare_lines: 2,
+            ..FaultConfig::default()
+        };
+        let mut f = FaultState::new(cfg);
+        assert_eq!(f.retire(3, 10, 100), Some(10));
+        assert_eq!(f.resolve(3), 10);
+        assert_eq!(f.retire(10, 10, 200), Some(11));
+        // Redirect chains resolve to the live replacement.
+        assert_eq!(f.resolve(3), 11);
+        assert_eq!(f.retire(11, 10, 300), None);
+        assert!(f.exhausted);
+        assert_eq!(f.stats.lines_retired, 2);
+        assert_eq!(f.stats.spares_used, 2);
+        assert_eq!(f.first_retirement.unwrap().at_write, 100);
+    }
+
+    #[test]
+    fn ecp_budget_runs_out() {
+        let cfg = FaultConfig {
+            ecp_entries: 2,
+            ecp_wear_step: 5,
+            ..FaultConfig::default()
+        };
+        let mut f = FaultState::new(cfg);
+        assert!(f.consume_ecp(0, 100, 100, 1, true));
+        assert!(f.consume_ecp(0, 100, 105, 2, true));
+        assert!(!f.consume_ecp(0, 100, 110, 3, true));
+        assert_eq!(f.stats.ecp_entries_consumed, 2);
+        assert_eq!(f.first_correctable.unwrap().at_write, 1);
+    }
+
+    #[test]
+    fn error_formats_and_is_std_error() {
+        let e = PcmError::AddressOutOfRange { la: 9, lines: 8 };
+        let msg = format!("{e}");
+        assert!(msg.contains('9') && msg.contains('8'));
+        let _: &dyn std::error::Error = &e;
+    }
+
+    #[test]
+    fn report_merge_takes_earliest_and_sums() {
+        let fi = |at_write| Some(FailureInfo { slot: 0, at_write });
+        let mut a = DegradationReport {
+            first_correctable: fi(50),
+            first_retirement: None,
+            capacity_exhaustion: fi(900),
+            stats: FaultStats {
+                transient_faults: 2,
+                ..FaultStats::default()
+            },
+        };
+        let b = DegradationReport {
+            first_correctable: fi(20),
+            first_retirement: fi(700),
+            capacity_exhaustion: None,
+            stats: FaultStats {
+                transient_faults: 3,
+                ..FaultStats::default()
+            },
+        };
+        a.merge(&b);
+        assert_eq!(a.first_correctable.unwrap().at_write, 20);
+        assert_eq!(a.first_retirement.unwrap().at_write, 700);
+        assert_eq!(a.capacity_exhaustion.unwrap().at_write, 900);
+        assert_eq!(a.stats.transient_faults, 5);
+    }
+}

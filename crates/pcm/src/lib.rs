@@ -29,6 +29,7 @@
 mod bank;
 mod buffered;
 mod controller;
+mod faults;
 mod multibank;
 mod stats;
 mod timing;
@@ -36,8 +37,9 @@ mod timing;
 pub use bank::{FailureInfo, PcmBank};
 pub use buffered::BufferedController;
 pub use controller::{MemoryController, WriteResponse};
+pub use faults::{DegradationReport, FaultConfig, PcmError};
 pub use multibank::MultiBankSystem;
-pub use stats::{gini_coefficient, normalized_cumulative_wear, WearSummary};
+pub use stats::{gini_coefficient, normalized_cumulative_wear, FaultStats, WearSummary};
 pub use timing::TimingModel;
 
 /// A logical or intermediate line address.

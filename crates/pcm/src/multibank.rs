@@ -8,7 +8,10 @@
 //! scheme instance (own keys, counters, and gap lines) removes the shared
 //! state that attack needs.
 
-use crate::{LineAddr, LineData, MemoryController, Ns, TimingModel, WearLeveler, WriteResponse};
+use crate::{
+    DegradationReport, FaultConfig, LineAddr, LineData, MemoryController, Ns, PcmError,
+    TimingModel, WearLeveler, WriteResponse,
+};
 
 /// A memory system of `B` banks, each with an independent scheme instance.
 ///
@@ -38,6 +41,35 @@ impl<W: WearLeveler> MultiBankSystem<W> {
         }
     }
 
+    /// Build a system of fault-injected banks. Each bank derives its own
+    /// fault-stream seed from `cfg.seed` and its index, so banks age
+    /// independently.
+    pub fn with_faults(
+        schemes: Vec<W>,
+        endurance: u64,
+        timing: TimingModel,
+        cfg: FaultConfig,
+    ) -> Self {
+        assert!(!schemes.is_empty());
+        let lines = schemes[0].logical_lines();
+        assert!(
+            schemes.iter().all(|s| s.logical_lines() == lines),
+            "banks must be uniform"
+        );
+        Self {
+            banks: schemes
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let seed = cfg
+                        .seed
+                        .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    MemoryController::with_faults(s, endurance, timing, cfg.with_seed(seed))
+                })
+                .collect(),
+        }
+    }
+
     /// Number of banks.
     pub fn bank_count(&self) -> usize {
         self.banks.len()
@@ -55,22 +87,60 @@ impl<W: WearLeveler> MultiBankSystem<W> {
         ((la % b) as usize, la / b)
     }
 
-    /// Service a write; latency is the addressed bank's alone (other banks
-    /// proceed in parallel).
-    pub fn write(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
-        let (bank, addr) = self.route(la);
-        self.banks[bank].write(addr, data)
+    #[inline]
+    fn check_la(&self, la: LineAddr) -> Result<(), PcmError> {
+        let lines = self.logical_lines();
+        if la < lines {
+            Ok(())
+        } else {
+            Err(PcmError::AddressOutOfRange { la, lines })
+        }
     }
 
-    /// Service a read.
-    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+    /// Service a write, validating the system address; latency is the
+    /// addressed bank's alone (other banks proceed in parallel).
+    pub fn try_write(&mut self, la: LineAddr, data: LineData) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
         let (bank, addr) = self.route(la);
-        self.banks[bank].read(addr)
+        Ok(self.banks[bank].write(addr, data))
+    }
+
+    /// Service a write; latency is the addressed bank's alone (other banks
+    /// proceed in parallel). Panics on an out-of-range address (previously
+    /// the modulo routing silently aliased it onto a valid line); use
+    /// [`MultiBankSystem::try_write`] for a typed error.
+    pub fn write(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
+        self.try_write(la, data)
+            .expect("demand write outside the system address space")
+    }
+
+    /// Service a read, validating the system address.
+    pub fn try_read(&mut self, la: LineAddr) -> Result<(LineData, Ns), PcmError> {
+        self.check_la(la)?;
+        let (bank, addr) = self.route(la);
+        Ok(self.banks[bank].read(addr))
+    }
+
+    /// Service a read. Panics on an out-of-range address; use
+    /// [`MultiBankSystem::try_read`] for a typed error.
+    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+        self.try_read(la)
+            .expect("demand read outside the system address space")
     }
 
     /// Whether any bank has failed.
     pub fn failed(&self) -> bool {
         self.banks.iter().any(|b| b.failed())
+    }
+
+    /// System-wide degradation: per-category earliest milestone (by each
+    /// bank's own write count) and summed counters.
+    pub fn degradation_report(&self) -> DegradationReport {
+        let mut report = DegradationReport::default();
+        for bank in &self.banks {
+            report.merge(&bank.degradation_report());
+        }
+        report
     }
 
     /// System time: the furthest-ahead bank clock (banks run in parallel).

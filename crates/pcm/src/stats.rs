@@ -92,9 +92,68 @@ pub fn gini_coefficient(wear: &[u64]) -> f64 {
     (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
+/// Counters kept by the fault-injection machinery (see [`crate::FaultConfig`]):
+/// how often writes failed transiently, how much verify-retry work the
+/// controller performed, and how far the graceful-degradation ladder
+/// (ECP entries → spare lines) has been climbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Writes whose first program pulse failed verification.
+    pub transient_faults: u64,
+    /// Program-and-verify retry pulses issued (each costs a read + re-pulse
+    /// and one extra unit of wear).
+    pub retries_issued: u64,
+    /// Transient faults that survived the whole retry budget and had to be
+    /// absorbed by an ECP entry (or killed the line).
+    pub retry_exhaustions: u64,
+    /// Error-correcting-pointer entries consumed, by retry exhaustion or by
+    /// wear-out degradation.
+    pub ecp_entries_consumed: u64,
+    /// Lines decommissioned after their ECP budget ran out.
+    pub lines_retired: u64,
+    /// Spare lines holding a retired line's data.
+    pub spares_used: u64,
+    /// Spare lines provisioned.
+    pub spares_total: u64,
+}
+
+impl FaultStats {
+    /// Accumulate another bank's counters (spares_total adds too, so a
+    /// multi-bank merge reports system-wide provisioning).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.transient_faults += other.transient_faults;
+        self.retries_issued += other.retries_issued;
+        self.retry_exhaustions += other.retry_exhaustions;
+        self.ecp_entries_consumed += other.ecp_entries_consumed;
+        self.lines_retired += other.lines_retired;
+        self.spares_used += other.spares_used;
+        self.spares_total += other.spares_total;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_stats_merge_sums_fields() {
+        let mut a = FaultStats {
+            transient_faults: 1,
+            retries_issued: 2,
+            retry_exhaustions: 1,
+            ecp_entries_consumed: 3,
+            lines_retired: 4,
+            spares_used: 5,
+            spares_total: 6,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.transient_faults, 2);
+        assert_eq!(a.retries_issued, 4);
+        assert_eq!(a.ecp_entries_consumed, 6);
+        assert_eq!(a.lines_retired, 8);
+        assert_eq!(a.spares_used, 10);
+        assert_eq!(a.spares_total, 12);
+    }
 
     #[test]
     fn summary_of_uniform_wear() {

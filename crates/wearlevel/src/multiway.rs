@@ -171,7 +171,11 @@ mod tests {
     fn write_repeat_consistency() {
         for count in [1u64, 9, 100, 777] {
             let mk = || {
-                MemoryController::new(MultiWaySr::new(64, 4, 3, 7, 5), u64::MAX, TimingModel::PAPER)
+                MemoryController::new(
+                    MultiWaySr::new(64, 4, 3, 7, 5),
+                    u64::MAX,
+                    TimingModel::PAPER,
+                )
             };
             let mut a = mk();
             let mut b = mk();

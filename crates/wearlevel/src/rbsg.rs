@@ -66,7 +66,9 @@ impl<P: AddressPermutation> Rbsg<P> {
         let region_lines = lines / regions;
         Self {
             randomizer,
-            regions: (0..regions).map(|_| GapMapping::new(region_lines)).collect(),
+            regions: (0..regions)
+                .map(|_| GapMapping::new(region_lines))
+                .collect(),
             counters: vec![0; regions as usize],
             interval,
             lines,

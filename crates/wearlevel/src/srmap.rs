@@ -199,7 +199,13 @@ mod tests {
         assert_eq!(m.advance(&mut rng), None);
         // Remaining steps finish the round.
         let s = m.advance(&mut rng).expect("LA2 must swap");
-        assert_eq!(s, SrSwap { a: 2 ^ 0b10, b: 2 ^ 0b11 });
+        assert_eq!(
+            s,
+            SrSwap {
+                a: 2 ^ 0b10,
+                b: 2 ^ 0b11
+            }
+        );
         assert_eq!(m.advance(&mut rng), None);
         // (d) final state: everything under key 11.
         assert_eq!(m.rounds_completed(), 1);
@@ -214,7 +220,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let mut m = SrMapping::new(16, &mut rng);
         for step in 0..200 {
-            let mut seen = vec![false; 16];
+            let mut seen = [false; 16];
             for idx in 0..16 {
                 let slot = m.translate(idx);
                 assert!(!seen[slot as usize], "step {step}");

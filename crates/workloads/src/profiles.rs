@@ -131,9 +131,8 @@ mod tests {
 
     #[test]
     fn parsec_denser_than_spec_on_average() {
-        let avg = |v: &[BenchProfile]| {
-            v.iter().map(|p| p.mean_gap as f64).sum::<f64>() / v.len() as f64
-        };
+        let avg =
+            |v: &[BenchProfile]| v.iter().map(|p| p.mean_gap as f64).sum::<f64>() / v.len() as f64;
         assert!(avg(&parsec_suite()) < avg(&spec_suite()));
     }
 

@@ -19,17 +19,16 @@ impl Zipf {
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n >= 1);
         assert!(s > 0.0);
-        let s = if (s - 1.0).abs() < 1e-9 { 1.0 + 1e-9 } else { s };
+        let s = if (s - 1.0).abs() < 1e-9 {
+            1.0 + 1e-9
+        } else {
+            s
+        };
         let h = |x: f64| ((1.0 - s) * x.ln()).exp() / (1.0 - s) * x.signum();
         // H(x) = x^(1-s)/(1-s), the integral of x^-s.
         let h_x1 = h(1.5) - 1.0f64.powf(-s);
         let h_n = h(n as f64 + 0.5);
-        Self {
-            n,
-            s,
-            h_n,
-            q: h_x1,
-        }
+        Self { n, s, h_n, q: h_x1 }
     }
 
     #[inline]

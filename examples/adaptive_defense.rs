@@ -75,7 +75,9 @@ fn main() {
     };
     let (det16, total16) = run_rta(16);
     let (det2, total2) = run_rta(2);
-    println!("\nRTA vs RBSG at base rate (ψ=16):    detection {det16:>9} writes, kill {total16:>9}");
+    println!(
+        "\nRTA vs RBSG at base rate (ψ=16):    detection {det16:>9} writes, kill {total16:>9}"
+    );
     println!("RTA vs RBSG at boosted rate (ψ=2):  detection {det2:>9} writes, kill {total2:>9}");
     println!(
         "\nboosting the remap rate cut RTA's detection cost by {:.1}x — exactly the \

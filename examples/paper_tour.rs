@@ -34,7 +34,11 @@ fn fig2_start_gap() {
     }
     println!("8th remapping:    {}", render(&m));
     m.advance();
-    println!("next round:       {}  (start register = {})", render(&m), m.start());
+    println!(
+        "next round:       {}  (start register = {})",
+        render(&m),
+        m.start()
+    );
     println!();
 }
 
@@ -56,7 +60,11 @@ fn fig5_security_refresh() {
     let s = m.advance(&mut rng);
     println!("refresh LA0 {:?}:   {}", s, render(&m));
     let s = m.advance(&mut rng);
-    println!("refresh LA1 {:?}:  {} (pair already moved — skip)", s, render(&m));
+    println!(
+        "refresh LA1 {:?}:  {} (pair already moved — skip)",
+        s,
+        render(&m)
+    );
     m.advance(&mut rng);
     m.advance(&mut rng);
     println!("round complete:    {} (all under key 11)", render(&m));
@@ -100,7 +108,5 @@ fn fig8_dfn_round() {
             println!("   ⋮");
         }
     }
-    println!(
-        "round done after {mv} movements; keys rolled — every line now sits at ENC_Kc(la)"
-    );
+    println!("round done after {mv} movements; keys rolled — every line now sits at ENC_Kc(la)");
 }

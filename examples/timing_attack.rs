@@ -50,9 +50,7 @@ fn main() {
     println!(
         "detection: {}/{} addresses of the target region recovered from latencies \
          ({} writes spent)",
-        correct,
-        n_r,
-        report.detection_writes
+        correct, n_r, report.detection_writes
     );
     println!(
         "first five learned neighbours below LA 0: {:?}",

@@ -8,8 +8,8 @@
 //! ```
 
 use security_rbsg::core::{SecurityRbsg, SecurityRbsgConfig};
-use security_rbsg::pcm::{LineData, MemoryController, TimingModel, WearLeveler, WearSummary};
 use security_rbsg::pcm::gini_coefficient;
+use security_rbsg::pcm::{LineData, MemoryController, TimingModel, WearLeveler, WearSummary};
 use security_rbsg::wearlevel::{NoWearLeveling, StartGap, TwoLevelSr};
 use security_rbsg::workloads::{TraceGenerator, ZipfTrace};
 
@@ -28,7 +28,9 @@ fn drive<W: WearLeveler>(name: &str, wl: W) {
     let gini = gini_coefficient(mc.bank().wear());
     println!(
         "{name:<16} max_wear {:>8}  mean {:>7.0}  max/mean {:>6.1}  gini {gini:.3}",
-        s.max, s.mean, s.max as f64 / s.mean
+        s.max,
+        s.mean,
+        s.max as f64 / s.mean
     );
 }
 

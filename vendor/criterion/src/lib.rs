@@ -1,0 +1,153 @@
+#![warn(missing_docs)]
+
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides just enough of the upstream surface — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — for the workspace's benches to compile and run
+//! without registry access. Measurement is a simple calibrated wall-clock
+//! loop with a plain-text median report; there are no plots, baselines, or
+//! statistical tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 30,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.per_iter);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{}/{id}: median {median:?} ({} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, auto-calibrating the iteration count so each
+    /// sample takes on the order of a few milliseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that runs >= 1 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                self.per_iter = elapsed / (iters as u32).max(1);
+                return;
+            }
+            iters *= 8;
+        }
+    }
+}
+
+/// Group benchmark functions into a single callable (upstream-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        let mut x = 0u64;
+        g.bench_function("increment", |b| {
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                black_box(x)
+            })
+        });
+        g.finish();
+        assert!(x > 0);
+    }
+}
