@@ -54,12 +54,25 @@ pub fn run(opts: &Opts) {
         "ablation — data-comparison writes (DCW) vs the Repeated Address Attack",
         &["dcw", "attack_data", "writes_to_fail", "outcome"],
     );
-    for dcw in [false, true] {
+    let cells: Vec<(bool, bool)> = [false, true]
+        .into_iter()
+        .flat_map(|dcw| [(dcw, false), (dcw, true)])
+        .collect();
+    let rows = srbsg_parallel::par_map(cells, opts.jobs, |(dcw, alternating)| {
         let mut mc = rbsg(1, dcw);
-        let w = raa_constant(&mut mc);
-        t.row(vec![
+        let w = if alternating {
+            raa_alternating(&mut mc)
+        } else {
+            raa_constant(&mut mc)
+        };
+        vec![
             dcw.to_string(),
-            "constant ALL-1".into(),
+            if alternating {
+                "alternating 0/1"
+            } else {
+                "constant ALL-1"
+            }
+            .into(),
             w.to_string(),
             if mc.failed() {
                 "FAILED"
@@ -67,20 +80,10 @@ pub fn run(opts: &Opts) {
                 "survived budget"
             }
             .into(),
-        ]);
-        let mut mc = rbsg(1, dcw);
-        let w = raa_alternating(&mut mc);
-        t.row(vec![
-            dcw.to_string(),
-            "alternating 0/1".into(),
-            w.to_string(),
-            if mc.failed() {
-                "FAILED"
-            } else {
-                "survived budget"
-            }
-            .into(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     t.write_csv(&opts.out_dir, "ablation_dcw");
@@ -93,7 +96,7 @@ pub fn run(opts: &Opts) {
         "ablation — delayed-write buffer (depth 8) vs address rotation",
         &["rotation_set", "writes_to_fail", "coalesced"],
     );
-    for set in [1u64, 4, 9, 32] {
+    let rows = srbsg_parallel::par_map(vec![1u64, 4, 9, 32], opts.jobs, |set| {
         let mut bc = BufferedController::new(rbsg(2, false), 8);
         let mut writes = 0u128;
         let budget = 50_000_000u128;
@@ -103,7 +106,7 @@ pub fn run(opts: &Opts) {
             i += 1;
             writes += 1;
         }
-        t.row(vec![
+        vec![
             set.to_string(),
             if bc.failed() {
                 writes.to_string()
@@ -111,7 +114,10 @@ pub fn run(opts: &Opts) {
                 format!(">{budget}")
             },
             bc.coalesced_writes().to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     t.write_csv(&opts.out_dir, "ablation_buffer");

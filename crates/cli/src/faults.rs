@@ -70,66 +70,88 @@ fn degradation_sweep(opts: &Opts) {
             "retired",
         ],
     );
+    // One work item per (knob config, seed); per-config aggregation folds
+    // the chunk in seed order, so sums and stats merges match the serial
+    // sweep exactly.
+    let mut items: Vec<(f64, u32, u64, u64)> = Vec::new();
     for &cov in covs {
         for &max_retries in retries {
             for &spare_lines in spares {
-                let mut fc = 0.0f64;
-                let mut fr = 0.0f64;
-                let mut ex = 0.0f64;
-                let mut secs = 0.0f64;
-                let mut stats = srbsg_pcm::FaultStats::default();
-                let mut fc_n = 0u64;
-                let mut fr_n = 0u64;
                 for seed in 0..opts.seeds {
-                    let fcfg = FaultConfig {
-                        seed: 0x5EED ^ seed,
-                        endurance_cov: cov,
-                        transient_prob: 1e-5,
-                        wearout_boost: 1e-3,
-                        max_retries,
-                        retry_fail_ratio: 0.3,
-                        ecp_entries: 2,
-                        ecp_wear_step: params.endurance / 50,
-                        spare_lines,
-                    };
-                    let d = srbsg_raa_degraded_lifetime(&params, &cfg, &fcfg, seed, u128::MAX >> 1);
-                    if let Some(l) = d.first_correctable {
-                        fc += l.writes as f64;
-                        fc_n += 1;
-                    }
-                    if let Some(l) = d.first_retirement {
-                        fr += l.writes as f64;
-                        fr_n += 1;
-                    }
-                    ex += d.capacity_exhaustion.writes as f64;
-                    secs += d.capacity_exhaustion.secs();
-                    stats.merge(&d.report.stats);
+                    items.push((cov, max_retries, spare_lines, seed));
                 }
-                let n = opts.seeds as f64;
-                let opt_avg = |sum: f64, k: u64| {
-                    if k == 0 {
-                        "-".to_string()
-                    } else {
-                        format!("{:.3e}", sum / k as f64)
-                    }
-                };
-                t.row(vec![
-                    format!("{cov}"),
-                    max_retries.to_string(),
-                    spare_lines.to_string(),
-                    opt_avg(fc, fc_n),
-                    opt_avg(fr, fr_n),
-                    format!("{:.3e}", ex / n),
-                    format!("{:.2}", secs / n),
-                    stats.transient_faults.to_string(),
-                    stats.retries_issued.to_string(),
-                    stats.retry_exhaustions.to_string(),
-                    stats.ecp_entries_consumed.to_string(),
-                    stats.lines_retired.to_string(),
-                ]);
-                eprintln!("[faults] cov={cov} retries={max_retries} spares={spare_lines} done");
             }
         }
+    }
+    let cfg_count = items.len() / opts.seeds as usize;
+    let last_seed = opts.seeds - 1;
+    let trials =
+        srbsg_parallel::par_map(items, opts.jobs, |(cov, max_retries, spare_lines, seed)| {
+            let fcfg = FaultConfig {
+                seed: 0x5EED ^ seed,
+                endurance_cov: cov,
+                transient_prob: 1e-5,
+                wearout_boost: 1e-3,
+                max_retries,
+                retry_fail_ratio: 0.3,
+                ecp_entries: 2,
+                ecp_wear_step: params.endurance / 50,
+                spare_lines,
+            };
+            let d = srbsg_raa_degraded_lifetime(&params, &cfg, &fcfg, seed, u128::MAX >> 1);
+            if seed == last_seed {
+                eprintln!("[faults] cov={cov} retries={max_retries} spares={spare_lines} done");
+            }
+            d
+        });
+    for (i, chunk) in trials.chunks(opts.seeds as usize).enumerate() {
+        debug_assert!(i < cfg_count);
+        let per_cov = retries.len() * spares.len();
+        let cov = covs[i / per_cov];
+        let max_retries = retries[(i / spares.len()) % retries.len()];
+        let spare_lines = spares[i % spares.len()];
+        let mut fc = 0.0f64;
+        let mut fr = 0.0f64;
+        let mut ex = 0.0f64;
+        let mut secs = 0.0f64;
+        let mut stats = srbsg_pcm::FaultStats::default();
+        let mut fc_n = 0u64;
+        let mut fr_n = 0u64;
+        for d in chunk {
+            if let Some(l) = d.first_correctable {
+                fc += l.writes as f64;
+                fc_n += 1;
+            }
+            if let Some(l) = d.first_retirement {
+                fr += l.writes as f64;
+                fr_n += 1;
+            }
+            ex += d.capacity_exhaustion.writes as f64;
+            secs += d.capacity_exhaustion.secs();
+            stats.merge(&d.report.stats);
+        }
+        let n = opts.seeds as f64;
+        let opt_avg = |sum: f64, k: u64| {
+            if k == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.3e}", sum / k as f64)
+            }
+        };
+        t.row(vec![
+            format!("{cov}"),
+            max_retries.to_string(),
+            spare_lines.to_string(),
+            opt_avg(fc, fc_n),
+            opt_avg(fr, fr_n),
+            format!("{:.3e}", ex / n),
+            format!("{:.2}", secs / n),
+            stats.transient_faults.to_string(),
+            stats.retries_issued.to_string(),
+            stats.retry_exhaustions.to_string(),
+            stats.ecp_entries_consumed.to_string(),
+            stats.lines_retired.to_string(),
+        ]);
     }
     t.print();
     t.write_csv(&opts.out_dir, "faults");
@@ -165,7 +187,10 @@ fn rta_signature_blur(opts: &Opts) {
             "false_1125_per_true",
         ],
     );
-    for &p in probs {
+    // Each worker computes its own (clean, noisy) stream pair — the clean
+    // baseline is deterministic, so recomputing it per probability changes
+    // nothing but wall-clock.
+    let rows = srbsg_parallel::par_map(probs.to_vec(), opts.jobs, move |p| {
         let clean = latency_stream(0.0, writes);
         let noisy = latency_stream(p, writes);
         // True signatures: movement extra over the demand pulse in the
@@ -194,7 +219,8 @@ fn rta_signature_blur(opts: &Opts) {
             }
         }
         let truth = (true_250 + true_1125) as f64;
-        t.row(vec![
+        eprintln!("[faults] rta blur p={p:e} done");
+        vec![
             format!("{p:e}"),
             writes.to_string(),
             true_250.to_string(),
@@ -204,8 +230,10 @@ fn rta_signature_blur(opts: &Opts) {
             multi.to_string(),
             format!("{:.3}", (false_250 + false_1125) as f64 / truth),
             format!("{:.1}", false_1125 as f64 / (true_1125 as f64).max(1.0)),
-        ]);
-        eprintln!("[faults] rta blur p={p:e} done");
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t.print();
     t.write_csv(&opts.out_dir, "faults_rta");

@@ -30,22 +30,28 @@ pub fn run(opts: &Opts) {
             "raa/rta",
         ],
     );
-    for &r in regions {
-        for &psi in intervals {
-            let rta = rbsg_rta_lifetime(&opts.params, r, psi, 0);
-            let raa = rbsg_raa_lifetime(&opts.params, r, psi);
-            let ratio = raa.secs() / rta.secs();
-            t.row(vec![
-                r.to_string(),
-                psi.to_string(),
-                format!("{:.1}", rta.secs()),
-                fmt_secs(rta.secs()),
-                format!("{:.3e}", raa.secs()),
-                fmt_secs(raa.secs()),
-                format!("{ratio:.0}x"),
-            ]);
-            eprintln!("[fig11] regions={r} psi={psi} done");
-        }
+    let cells: Vec<(u64, u64)> = regions
+        .iter()
+        .flat_map(|&r| intervals.iter().map(move |&psi| (r, psi)))
+        .collect();
+    let params = opts.params;
+    let results = srbsg_parallel::par_map(cells, opts.jobs, move |(r, psi)| {
+        let rta = rbsg_rta_lifetime(&params, r, psi, 0);
+        let raa = rbsg_raa_lifetime(&params, r, psi);
+        eprintln!("[fig11] regions={r} psi={psi} done");
+        (r, psi, rta, raa)
+    });
+    for (r, psi, rta, raa) in results {
+        let ratio = raa.secs() / rta.secs();
+        t.row(vec![
+            r.to_string(),
+            psi.to_string(),
+            format!("{:.1}", rta.secs()),
+            fmt_secs(rta.secs()),
+            format!("{:.3e}", raa.secs()),
+            fmt_secs(raa.secs()),
+            format!("{ratio:.0}x"),
+        ]);
     }
     t.print();
     t.write_csv(&opts.out_dir, "fig11");

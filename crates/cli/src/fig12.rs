@@ -28,23 +28,40 @@ pub fn run(opts: &Opts) {
         "Fig. 12 — two-level SR lifetime under RTA (days, avg over keys)",
         &["sub_regions", "inner", "outer", "lifetime_days", "human"],
     );
+    // One work item per (config, seed); folded per config in seed order,
+    // so the float accumulation matches the serial loop exactly.
+    let mut items: Vec<(u64, u64, u64, u64)> = Vec::new();
     for &r in &subs {
         for &pi in &inners {
             for &po in &outers {
-                let avg_ns: f64 = (0..seeds)
-                    .map(|s| sr2_rta_lifetime(&opts.params, r, pi, po, s).ns as f64)
-                    .sum::<f64>()
-                    / seeds as f64;
-                let days = avg_ns * 1e-9 / 86_400.0;
-                t.row(vec![
-                    r.to_string(),
-                    pi.to_string(),
-                    po.to_string(),
-                    format!("{days:.2}"),
-                    fmt_secs(avg_ns * 1e-9),
-                ]);
+                for s in 0..seeds {
+                    items.push((r, pi, po, s));
+                }
             }
         }
+    }
+    let params = opts.params;
+    let ns = srbsg_parallel::par_map(items, opts.jobs, move |(r, pi, po, s)| {
+        sr2_rta_lifetime(&params, r, pi, po, s).ns as f64
+    });
+    for (i, chunk) in ns.chunks(seeds as usize).enumerate() {
+        let (r, pi, po) = {
+            let per_r = inners.len() * outers.len();
+            (
+                subs[i / per_r],
+                inners[(i / outers.len()) % inners.len()],
+                outers[i % outers.len()],
+            )
+        };
+        let avg_ns: f64 = chunk.iter().sum::<f64>() / seeds as f64;
+        let days = avg_ns * 1e-9 / 86_400.0;
+        t.row(vec![
+            r.to_string(),
+            pi.to_string(),
+            po.to_string(),
+            format!("{days:.2}"),
+            fmt_secs(avg_ns * 1e-9),
+        ]);
     }
     t.print();
     t.write_csv(&opts.out_dir, "fig12");

@@ -4,7 +4,7 @@
 
 use srbsg_attacks::detection_margin;
 use srbsg_lifetime::{
-    sr2_raa_lifetime, srbsg_bpa_lifetime_analytic, srbsg_raa_lifetime, SrbsgParams,
+    sr2_raa_lifetime_trials, srbsg_bpa_lifetime_analytic, srbsg_raa_lifetime, SrbsgParams,
 };
 
 use crate::table::Table;
@@ -17,8 +17,10 @@ pub fn run(opts: &Opts) {
         (3..=20).collect()
     };
     let ideal = opts.params.ideal_lifetime();
-    let sr2_ref: f64 = (0..opts.seeds)
-        .map(|s| sr2_raa_lifetime(&opts.params, 512, 64, 128, s).ns as f64)
+    let seeds: Vec<u64> = (0..opts.seeds).collect();
+    let sr2_ref: f64 = sr2_raa_lifetime_trials(&opts.params, 512, 64, 128, &seeds, opts.jobs)
+        .iter()
+        .map(|l| l.ns as f64)
         .sum::<f64>()
         / opts.seeds as f64;
 
@@ -33,15 +35,31 @@ pub fn run(opts: &Opts) {
             "margin(S·B/ψ_out)",
         ],
     );
-    for &s in &stages {
+    // One work item per (stage, seed); folded per stage in seed order.
+    let items: Vec<(usize, u64)> = stages
+        .iter()
+        .flat_map(|&s| seeds.iter().map(move |&sd| (s, sd)))
+        .collect();
+    let params = opts.params;
+    let last_seed = opts.seeds - 1;
+    let raa = srbsg_parallel::par_map(items, opts.jobs, move |(s, sd)| {
         let cfg = SrbsgParams {
             stages: s,
             ..SrbsgParams::paper_default()
         };
-        let raa_ns: f64 = (0..opts.seeds)
-            .map(|sd| srbsg_raa_lifetime(&opts.params, &cfg, sd).ns as f64)
-            .sum::<f64>()
-            / opts.seeds as f64;
+        let n = srbsg_raa_lifetime(&params, &cfg, sd).ns as f64;
+        if sd == last_seed {
+            eprintln!("[fig14] stages={s} done");
+        }
+        n
+    });
+    for (i, chunk) in raa.chunks(opts.seeds as usize).enumerate() {
+        let s = stages[i];
+        let cfg = SrbsgParams {
+            stages: s,
+            ..SrbsgParams::paper_default()
+        };
+        let raa_ns: f64 = chunk.iter().sum::<f64>() / opts.seeds as f64;
         let bpa = srbsg_bpa_lifetime_analytic(&opts.params, &cfg);
         t.row(vec![
             s.to_string(),

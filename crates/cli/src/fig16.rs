@@ -30,15 +30,19 @@ pub fn run(opts: &Opts) {
         "Fig. 16 — normalized cumulative wear (x = address-space fraction)",
         headers,
     );
-    for &total in &totals {
-        let wear = srbsg_raa_wear_distribution(&opts.params, &cfg, total, 1);
+    let params = opts.params;
+    let rows = srbsg_parallel::par_map(totals, opts.jobs, move |total| {
+        let wear = srbsg_raa_wear_distribution(&params, &cfg, total, 1);
         let curve = normalized_cumulative_wear(&wear, points);
         let gini = gini_coefficient(&wear);
+        eprintln!("[fig16] total={total} done");
         let mut row = vec![format!("{total:e}")];
         row.extend(curve.iter().map(|y| format!("{y:.3}")));
         row.push(format!("{gini:.3}"));
+        row
+    });
+    for row in rows {
         t.row(row);
-        eprintln!("[fig16] total={total} done");
     }
     t.print();
     t.write_csv(&opts.out_dir, "fig16");

@@ -2,7 +2,7 @@
 //! paper's evaluation (§V).
 //!
 //! ```text
-//! experiments <subcommand> [--quick] [--seeds N] [--out DIR]
+//! experiments <subcommand> [--quick] [--seeds N] [--out DIR] [--jobs N]
 //!
 //!   fig11     RBSG lifetime under RTA vs RAA (regions × remap interval)
 //!   fig12     Two-level SR lifetime under RTA (Table I grid)
@@ -24,6 +24,11 @@
 //! suite completes in about a minute; the default is the paper's platform
 //! (2^22 lines, 10^8 endurance). Results are printed and written as CSV
 //! under `results/`.
+//!
+//! `--jobs N` runs the seeded trials of each sweep on up to `N` worker
+//! threads (default: the machine's available parallelism). Every table and
+//! CSV is byte-identical for any `N` — each trial owns its seed and RNG
+//! stream, and results are folded in a fixed order.
 
 mod ablation;
 mod detect;
@@ -52,6 +57,9 @@ pub struct Opts {
     pub out_dir: String,
     /// Quick mode (affects sweep sizes too).
     pub quick: bool,
+    /// Worker threads for seeded-trial sweeps (output is identical for
+    /// any value; see `srbsg-parallel`).
+    pub jobs: usize,
 }
 
 fn main() {
@@ -60,6 +68,7 @@ fn main() {
     let mut quick = false;
     let mut seeds = 0u64;
     let mut out_dir = "results".to_string();
+    let mut jobs = srbsg_parallel::available_jobs();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -69,6 +78,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--seeds needs a number"))
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or_else(|| usage("--jobs needs a positive number"))
             }
             "--out" => {
                 out_dir = it
@@ -96,6 +112,7 @@ fn main() {
         seeds,
         out_dir,
         quick,
+        jobs,
     };
 
     let t0 = std::time::Instant::now();
@@ -135,7 +152,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|all> \
-         [--quick] [--seeds N] [--out DIR]"
+         [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);
 }

@@ -39,60 +39,9 @@ pub fn run(opts: &Opts) {
     );
     let mut rng = StdRng::seed_from_u64(7);
 
-    t.row(vec![
-        "none".into(),
-        format!("{:.3}", measure(NoWearLeveling::new(LINES), true)),
-        format!("{:.3}", measure(NoWearLeveling::new(LINES), false)),
-    ]);
-    t.row(vec![
-        "start-gap".into(),
-        format!("{:.3}", measure(StartGap::start_gap(LINES, 16), true)),
-        format!("{:.3}", measure(StartGap::start_gap(LINES, 16), false)),
-    ]);
-    t.row(vec![
-        "rbsg".into(),
-        format!(
-            "{:.3}",
-            measure(Rbsg::with_feistel(&mut rng, WIDTH, 16, 16), true)
-        ),
-        format!(
-            "{:.3}",
-            measure(Rbsg::with_feistel(&mut rng, WIDTH, 16, 16), false)
-        ),
-    ]);
-    t.row(vec![
-        "security-refresh".into(),
-        format!(
-            "{:.3}",
-            measure(SecurityRefresh::new(LINES, 16, 16, 3), true)
-        ),
-        format!(
-            "{:.3}",
-            measure(SecurityRefresh::new(LINES, 16, 16, 3), false)
-        ),
-    ]);
-    t.row(vec![
-        "two-level-sr".into(),
-        format!(
-            "{:.3}",
-            measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), true)
-        ),
-        format!(
-            "{:.3}",
-            measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), false)
-        ),
-    ]);
-    t.row(vec![
-        "multi-way-sr".into(),
-        format!(
-            "{:.3}",
-            measure(MultiWaySr::new(LINES, 16, 16, 32, 3), true)
-        ),
-        format!(
-            "{:.3}",
-            measure(MultiWaySr::new(LINES, 16, 16, 32, 3), false)
-        ),
-    ]);
+    // Schemes are constructed here, serially, in the historical order, so
+    // the shared key RNG draws the same keys as the old serial code; only
+    // the (independent, self-seeded) measurements fan out to workers.
     let cfg = SecurityRbsgConfig {
         width: WIDTH,
         sub_regions: 16,
@@ -101,11 +50,42 @@ pub fn run(opts: &Opts) {
         stages: 7,
         seed: 3,
     };
-    t.row(vec![
-        "security-rbsg".into(),
-        format!("{:.3}", measure(SecurityRbsg::new(cfg), true)),
-        format!("{:.3}", measure(SecurityRbsg::new(cfg), false)),
-    ]);
+    let rbsg_z = Rbsg::with_feistel(&mut rng, WIDTH, 16, 16);
+    let rbsg_s = Rbsg::with_feistel(&mut rng, WIDTH, 16, 16);
+    let tasks: Vec<Box<dyn FnOnce() -> f64 + Send>> = vec![
+        Box::new(|| measure(NoWearLeveling::new(LINES), true)),
+        Box::new(|| measure(NoWearLeveling::new(LINES), false)),
+        Box::new(|| measure(StartGap::start_gap(LINES, 16), true)),
+        Box::new(|| measure(StartGap::start_gap(LINES, 16), false)),
+        Box::new(move || measure(rbsg_z, true)),
+        Box::new(move || measure(rbsg_s, false)),
+        Box::new(|| measure(SecurityRefresh::new(LINES, 16, 16, 3), true)),
+        Box::new(|| measure(SecurityRefresh::new(LINES, 16, 16, 3), false)),
+        Box::new(|| measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), true)),
+        Box::new(|| measure(TwoLevelSr::new(LINES, 16, 16, 32, 3), false)),
+        Box::new(|| measure(MultiWaySr::new(LINES, 16, 16, 32, 3), true)),
+        Box::new(|| measure(MultiWaySr::new(LINES, 16, 16, 32, 3), false)),
+        Box::new(move || measure(SecurityRbsg::new(cfg), true)),
+        Box::new(move || measure(SecurityRbsg::new(cfg), false)),
+    ];
+    let frac = srbsg_parallel::par_run(tasks, opts.jobs);
+
+    let schemes = [
+        "none",
+        "start-gap",
+        "rbsg",
+        "security-refresh",
+        "two-level-sr",
+        "multi-way-sr",
+        "security-rbsg",
+    ];
+    for (i, name) in schemes.iter().enumerate() {
+        t.row(vec![
+            (*name).into(),
+            format!("{:.3}", frac[2 * i]),
+            format!("{:.3}", frac[2 * i + 1]),
+        ]);
+    }
     t.print();
     t.write_csv(&opts.out_dir, "normal");
     println!(

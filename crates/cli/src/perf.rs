@@ -52,11 +52,21 @@ pub fn run(opts: &Opts) {
         &["benchmark", "suite", "ψ_in=32", "ψ_in=64", "ψ_in=128"],
     );
     let mut suite_sums = std::collections::HashMap::new();
-    for p in parsec_suite().iter().chain(spec_suite().iter()) {
-        let degs: Vec<f64> = intervals
-            .iter()
-            .map(|&pi| run_bench(p, width, pi, &cfg))
-            .collect();
+    // One work item per (benchmark, interval); folded per benchmark in
+    // interval order, so suite averages accumulate exactly as before.
+    let benches: Vec<BenchProfile> = parsec_suite()
+        .iter()
+        .chain(spec_suite().iter())
+        .cloned()
+        .collect();
+    let items: Vec<(BenchProfile, u64)> = benches
+        .iter()
+        .flat_map(|p| intervals.iter().map(move |&pi| (p.clone(), pi)))
+        .collect();
+    let degs_flat = srbsg_parallel::par_map(items, opts.jobs, move |(p, pi)| {
+        run_bench(&p, width, pi, &cfg)
+    });
+    for (p, degs) in benches.iter().zip(degs_flat.chunks(intervals.len())) {
         for (i, d) in degs.iter().enumerate() {
             let e = suite_sums.entry((p.suite, i)).or_insert((0.0, 0u32));
             e.0 += d;

@@ -1,0 +1,51 @@
+//! The `--jobs` determinism contract, end to end: a figure command's CSV
+//! (and stdout table) must be byte-identical for any worker count.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_fig(figure: &str, jobs: u32, out: &Path) -> (Vec<u8>, Vec<u8>) {
+    let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args([
+            "--quick",
+            "--seeds",
+            "2",
+            "--jobs",
+            &jobs.to_string(),
+            "--out",
+        ])
+        .arg(out)
+        .arg(figure)
+        .output()
+        .expect("spawn experiments binary");
+    assert!(
+        output.status.success(),
+        "{figure} --jobs {jobs} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = std::fs::read(out.join(format!("{figure}.csv"))).expect("read csv");
+    (csv, output.stdout)
+}
+
+#[test]
+fn fig12_output_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!("srbsg-determinism-{}", std::process::id()));
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        outputs.push((jobs, run_fig("fig12", jobs, &dir)));
+    }
+    let (_, serial) = &outputs[0];
+    for (jobs, parallel) in &outputs[1..] {
+        assert_eq!(
+            serial.0, parallel.0,
+            "fig12.csv differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "fig12 stdout differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

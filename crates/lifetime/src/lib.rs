@@ -24,6 +24,7 @@ mod faults;
 mod rbsg;
 mod sr2;
 mod srbsg;
+mod trials;
 mod workload;
 
 pub use faults::{srbsg_raa_degraded_exact, srbsg_raa_degraded_lifetime, DegradationLifetime};
@@ -32,6 +33,11 @@ pub use sr2::{sr2_raa_lifetime, sr2_rta_lifetime};
 pub use srbsg::{
     srbsg_bpa_lifetime, srbsg_bpa_lifetime_analytic, srbsg_raa_lifetime,
     srbsg_raa_wear_distribution, srbsg_rta_lifetime, SrbsgParams,
+};
+pub use trials::{
+    rbsg_rta_lifetime_trials, sr2_raa_lifetime_trials, sr2_rta_lifetime_trials,
+    srbsg_bpa_lifetime_trials, srbsg_raa_degraded_lifetime_trials, srbsg_raa_lifetime_trials,
+    srbsg_rta_lifetime_trials,
 };
 pub use workload::workload_lifetime;
 

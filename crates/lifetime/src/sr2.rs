@@ -88,9 +88,12 @@ pub fn sr2_raa_lifetime(
     let inner_round_writes = n_r * inner_interval;
 
     // Per-slot wear from hammer deposits; background wear from refresh
-    // traffic is accounted separately (uniform within a sub-region).
+    // traffic is accounted separately (uniform within a sub-region). The
+    // per-region peak decides failure: a region-wide background increment
+    // can push a slot the current deposit never touched past endurance.
     let mut wear: Vec<u32> = vec![0; n as usize];
     let mut background: Vec<u32> = vec![0; sub_regions as usize];
+    let mut region_peak: Vec<u32> = vec![0; sub_regions as usize];
 
     let mut total_writes: u128 = 0;
     // The hammered LA's current sub-region; outer re-keying sends it to a
@@ -114,12 +117,14 @@ pub fn sr2_raa_lifetime(
                 *w += deposit as u32;
                 total_writes += deposit as u128;
                 left -= deposit;
+                let peak = &mut region_peak[reg as usize];
+                *peak = (*peak).max(*w);
                 // Refresh traffic: each inner round rewrites every line of
                 // the sub-region once (n_r/2 swaps × 2 writes).
                 if deposit == inner_round_writes {
                     background[reg as usize] += 1;
                 }
-                if *w as u64 + background[reg as usize] as u64 >= e {
+                if *peak as u64 + background[reg as usize] as u64 >= e {
                     break 'outer;
                 }
             }
@@ -148,6 +153,7 @@ mod tests {
     /// The round-level RAA engine must track the exact simulator within a
     /// stochastic envelope at small scale.
     #[test]
+    #[ignore = "heavy cross-validation vs exact simulation (~10 s debug); run by the CI heavy-tests step via --ignored"]
     fn raa_round_level_matches_exact_simulation() {
         let (lines, r, psi_in, psi_out, e) = (1u64 << 10, 8u64, 4u64, 8u64, 60_000u64);
         let params = PcmParams::small(10, e);

@@ -55,6 +55,12 @@ struct RaaEngine {
     /// Inner gap-rotation background writes per sub-region (one write per
     /// slot per lap of remap traffic).
     background: Vec<u32>,
+    /// Peak hammer wear per sub-region. The effective wear of a slot is
+    /// `wear[slot] + background[region]`, so the first endurance crossing
+    /// in a region is at `region_peak + background` — which a region-wide
+    /// `background` increment can push over the limit on a slot the
+    /// current deposit never touched.
+    region_peak: Vec<u32>,
     enc_p: FeistelNetwork,
     total_writes: u128,
     failed: bool,
@@ -73,6 +79,7 @@ impl RaaEngine {
             rng,
             wear: vec![0; slots],
             background: vec![0; cfg.sub_regions as usize],
+            region_peak: vec![0; cfg.sub_regions as usize],
             enc_p,
             total_writes: 0,
             failed: false,
@@ -97,11 +104,16 @@ impl RaaEngine {
             let idx = (region * slots + slot) as usize;
             self.wear[idx] += deposit as u32;
             self.total_writes += deposit as u128;
+            let peak = &mut self.region_peak[region as usize];
+            *peak = (*peak).max(self.wear[idx]);
             if deposit == lap {
                 // A full lap of remap traffic rewrites one line per slot.
                 self.background[region as usize] += 1;
             }
-            if self.wear[idx] as u64 + self.background[region as usize] as u64 >= e {
+            // First crossing anywhere in the region: the background
+            // increment applies to every slot, so the region's peak slot
+            // (not necessarily the one just written) decides failure.
+            if *peak as u64 + self.background[region as usize] as u64 >= e {
                 self.failed = true;
             }
             writes -= deposit;
@@ -294,8 +306,46 @@ mod tests {
         }
     }
 
+    /// Regression: a region-wide `background` increment must fail a slot
+    /// the current deposit never touched. The pre-fix engine only checked
+    /// the slot just written and sailed past the crossing.
+    #[test]
+    fn background_wear_fails_untouched_slots() {
+        let params = PcmParams::small(6, 1_000);
+        let cfg = SrbsgParams {
+            sub_regions: 4,
+            inner_interval: 4,
+            outer_interval: 8,
+            stages: 3,
+        };
+        let n_r = params.lines / cfg.sub_regions; // 16
+        let slots = n_r + 1;
+        let lap = slots * cfg.inner_interval; // 68 writes per full lap
+
+        // Run a scout engine to learn which slots a 2-lap deposit into
+        // region 0 touches (the entry slot is an RNG draw).
+        let mut scout = RaaEngine::new(params, cfg, 0);
+        scout.deposit_stay(0, 2 * lap);
+        let touched: Vec<u64> = (0..slots).filter(|&s| scout.wear[s as usize] > 0).collect();
+        assert_eq!(touched.len(), 2, "two full laps touch two slots");
+
+        // Fresh engine, same seed → same RNG stream → same entry slot.
+        // Pre-wear an *untouched* slot of region 0 to E−1: the first full
+        // lap's background increment pushes it to E.
+        let mut eng = RaaEngine::new(params, cfg, 0);
+        let victim = (0..slots).find(|s| !touched.contains(s)).unwrap();
+        eng.wear[victim as usize] = (params.endurance - 1) as u32;
+        eng.region_peak[0] = (params.endurance - 1) as u32;
+        eng.deposit_stay(0, 2 * lap);
+        assert!(
+            eng.failed,
+            "background increment crossed endurance on slot {victim} but went undetected"
+        );
+    }
+
     /// Round-level RAA engine vs exact simulation at small scale.
     #[test]
+    #[ignore = "heavy cross-validation vs exact simulation (~11 s debug); run by the CI heavy-tests step via --ignored"]
     fn raa_engine_matches_exact_simulation() {
         let params = PcmParams::small(10, 30_000);
         let cfg = small_cfg();

@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! Deterministic parallel fan-out for seeded Monte Carlo trials.
+//!
+//! Every lifetime figure of the evaluation averages first-failure
+//! lifetimes over independent seeded trials. Each trial owns its seed and
+//! its RNG stream, so trials are embarrassingly parallel — but the
+//! *output* (tables, CSVs, float accumulation order) must not depend on
+//! the worker count. [`par_map`] provides exactly that contract:
+//!
+//! * work items are claimed dynamically (an atomic cursor, so uneven
+//!   trial lengths balance across workers), and
+//! * results are returned **in item order**, bit-for-bit identical to a
+//!   serial `items.into_iter().map(f).collect()`.
+//!
+//! The workspace builds offline from `vendor/`, so this is plain
+//! `std::thread::scope` — no rayon, no crossbeam.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Worker count to use when the caller does not specify one: the number
+/// of hardware threads the OS grants this process (1 if unknown).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to `jobs` worker threads, returning the
+/// results **in item order**.
+///
+/// Determinism contract: the returned vector is identical to
+/// `items.into_iter().map(f).collect()` for any `jobs >= 1` — each item
+/// is processed exactly once, by exactly one worker, and no state is
+/// shared between invocations of `f`. With `jobs == 1` (or fewer than
+/// two items) the map runs inline on the calling thread, so `--jobs 1`
+/// is strictly serial execution.
+///
+/// Panics in `f` are propagated to the caller after all workers have
+/// stopped, preserving the original panic payload.
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let jobs = jobs.max(1);
+    let n = items.len();
+    if jobs == 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items sit behind per-slot mutexes so workers can take ownership of
+    // the one they claimed; the atomic cursor hands out indices.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let handles: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                let tx = tx.clone();
+                let (next, work, f) = (&next, &work, &f);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let r = f(item);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        // Collect until every sender hung up; order of arrival is
+        // irrelevant because results land at their item index.
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        // Join explicitly so a worker panic re-raises with its original
+        // payload rather than scope's generic "a scoped thread panicked".
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker dropped a result"))
+        .collect()
+}
+
+/// Run a batch of heterogeneous closures on up to `jobs` workers,
+/// returning their results in task order. Convenience wrapper over
+/// [`par_map`] for call sites whose work items do not share one type
+/// (e.g. benchmarking several wear-leveling schemes side by side).
+pub fn par_run<R: Send>(tasks: Vec<Box<dyn FnOnce() -> R + Send>>, jobs: usize) -> Vec<R> {
+    par_map(tasks, jobs, |t| t())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_for_any_job_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for jobs in [1, 2, 3, 4, 8, 64] {
+            let out = par_map(items.clone(), jobs, |x| x * x + 1);
+            assert_eq!(out, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn each_item_processed_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = par_map((0..1000u64).collect(), 7, |x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_and_ordered() {
+        // Front-loaded heavy items: dynamic claiming must still return
+        // results in item order.
+        let out = par_map((0..64u64).collect(), 4, |i| {
+            let spin = if i < 4 { 200_000 } else { 10 };
+            let mut acc = i;
+            for k in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx as u64, *i);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_serial() {
+        assert_eq!(par_map(vec![1, 2, 3], 0, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
+        assert_eq!(par_map(vec![9], 8, |x| x * 2), vec![18]);
+    }
+
+    #[test]
+    fn par_run_executes_heterogeneous_tasks_in_order() {
+        let tasks: Vec<Box<dyn FnOnce() -> String + Send>> = vec![
+            Box::new(|| "a".to_string()),
+            Box::new(|| format!("{}", 6 * 7)),
+            Box::new(|| "c".repeat(3)),
+        ];
+        assert_eq!(par_run(tasks, 2), vec!["a", "42", "ccc"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        par_map(vec![1, 2, 3, 4], 2, |x| {
+            if x == 3 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_jobs_is_at_least_one() {
+        assert!(available_jobs() >= 1);
+    }
+}

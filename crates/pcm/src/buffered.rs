@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use crate::{LineAddr, LineData, MemoryController, Ns, WearLeveler, WriteResponse};
+use crate::{LineAddr, LineData, MemoryController, Ns, PcmError, WearLeveler, WriteResponse};
 
 /// A memory controller fronted by a `depth`-entry write-coalescing buffer.
 #[derive(Debug, Clone)]
@@ -48,8 +48,34 @@ impl<W: WearLeveler> BufferedController<W> {
         self.inner.failed()
     }
 
-    /// Service one write through the buffer.
+    #[inline]
+    fn check_la(&self, la: LineAddr) -> Result<(), PcmError> {
+        let lines = self.inner.logical_lines();
+        if la < lines {
+            Ok(())
+        } else {
+            Err(PcmError::AddressOutOfRange { la, lines })
+        }
+    }
+
+    /// Service one write through the buffer, validating the address. This
+    /// is the typed entry point: an out-of-range address is rejected here,
+    /// *before* it can occupy a buffer slot — unvalidated it would be
+    /// accepted silently and only blow up at eviction time, deep inside
+    /// the inner controller.
+    pub fn try_write(&mut self, la: LineAddr, data: LineData) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
+        Ok(self.write_unchecked(la, data))
+    }
+
+    /// Service one write through the buffer. Panics on an out-of-range
+    /// address; use [`BufferedController::try_write`] for a typed error.
     pub fn write(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
+        self.try_write(la, data)
+            .expect("demand write outside the logical address space")
+    }
+
+    fn write_unchecked(&mut self, la: LineAddr, data: LineData) -> WriteResponse {
         let t = *self.inner.bank().timing();
         if let Some(pos) = self.entries.iter().position(|(a, _)| *a == la) {
             // Coalesce: refresh the entry, move it to MRU.
@@ -81,16 +107,25 @@ impl<W: WearLeveler> BufferedController<W> {
         }
     }
 
-    /// Read through the buffer (buffer hits never reach PCM).
-    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+    /// Read through the buffer (buffer hits never reach PCM), validating
+    /// the address.
+    pub fn try_read(&mut self, la: LineAddr) -> Result<(LineData, Ns), PcmError> {
+        self.check_la(la)?;
         if let Some((_, d)) = self.entries.iter().find(|(a, _)| *a == la) {
             let t = self.inner.bank().timing();
             let lat = (t.sram_ns + t.translation_ns) as Ns;
             let d = *d;
             self.inner.advance_clock(lat);
-            return (d, lat);
+            return Ok((d, lat));
         }
-        self.inner.read(la)
+        self.inner.try_read(la)
+    }
+
+    /// Read through the buffer. Panics on an out-of-range address; use
+    /// [`BufferedController::try_read`] for a typed error.
+    pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
+        self.try_read(la)
+            .expect("demand read outside the logical address space")
     }
 
     /// Drain every buffered line to PCM.
@@ -192,6 +227,35 @@ mod tests {
         for la in 0..4u64 {
             assert_eq!(bc.inner().bank().read_line(la), LineData::Mixed(la as u32));
         }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected_before_buffering() {
+        let mut bc = buffered(4, 1_000);
+        assert_eq!(
+            bc.try_write(64, LineData::Ones),
+            Err(PcmError::AddressOutOfRange { la: 64, lines: 64 })
+        );
+        assert_eq!(
+            bc.try_read(99),
+            Err(PcmError::AddressOutOfRange { la: 99, lines: 64 })
+        );
+        // The bad address must not have entered the buffer: filling the
+        // buffer and flushing must not replay it into the inner controller.
+        for la in 0..4 {
+            bc.try_write(la, LineData::Zeros).unwrap();
+        }
+        bc.flush();
+        assert!(!bc.failed());
+    }
+
+    #[test]
+    #[should_panic(expected = "demand write outside")]
+    fn panicking_write_rejects_out_of_range_immediately() {
+        // Pre-fix, an out-of-range write parked in the buffer silently and
+        // only panicked at eviction time (or never, if never evicted).
+        let mut bc = buffered(4, 1_000);
+        bc.write(64, LineData::Ones);
     }
 
     #[test]

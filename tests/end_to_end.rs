@@ -74,19 +74,21 @@ fn rta_defeats_security_refresh() {
     assert!(rta.outcome.attack_writes * 2 < raa.attack_writes);
 }
 
-/// §IV + §V-C: Security RBSG denies the RTA its observable and holds up
-/// under RAA/BPA comparably to (or better than) two-level SR.
-#[test]
-fn security_rbsg_resists() {
-    let cfg = SecurityRbsgConfig {
+fn resist_cfg() -> SecurityRbsgConfig {
+    SecurityRbsgConfig {
         width: 10,
         sub_regions: 16,
         inner_interval: 4,
         outer_interval: 4,
         stages: 7,
         seed: 9,
-    };
+    }
+}
 
+/// §IV: Security RBSG denies the RTA its observable.
+#[test]
+fn security_rbsg_denies_rta_observable() {
+    let cfg = resist_cfg();
     // The periodicity the RTA needs does not survive the DFN re-keying.
     // The probe must span several DFN rounds to see the churn, so the
     // outer interval is short and the sample count generous.
@@ -111,7 +113,16 @@ fn security_rbsg_resists() {
         p_srbsg.periodicity,
         p_rbsg.periodicity
     );
+}
 
+/// §V-C: Security RBSG holds up under RAA/BPA comparably to (or better
+/// than) two-level SR. Exact simulation to first failure at endurance
+/// 50 000 — tens of millions of write events, so this runs in the CI
+/// heavy-tests step (`--ignored`), not tier-1.
+#[test]
+#[ignore = "heavy exact-simulation test (~15 s debug); run by the CI heavy-tests step via --ignored"]
+fn security_rbsg_survives_raa_and_bpa() {
+    let cfg = resist_cfg();
     // Wear-leveling quality under the classical attacks.
     let ideal = (1u128 << 10) * ENDURANCE as u128;
     let mut mc = controller(SecurityRbsg::new(cfg));
