@@ -13,11 +13,24 @@
 //! write read + SET = 1125 ns — *exactly* the two remap-movement
 //! signatures of Fig. 4(a). Every retry therefore manufactures a false
 //! movement signature, diluting the timing channel the RTA needs.
+//!
+//! Part 3 cross-checks the fast-forward degradation engine against the
+//! exact tier (`srbsg_raa_degraded_exact`: real scheme, real attack,
+//! write-by-write controller) on the parallel trial engine.
+//!
+//! Part 4 sweeps faults across a *multi-bank* system: skewed traffic kills
+//! one bank long before the others, and the per-bank
+//! `SystemDegradationReport` shows the system absorbing writes on its
+//! healthy banks long after the first death.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use srbsg_lifetime::{srbsg_raa_degraded_lifetime, PcmParams, SrbsgParams};
-use srbsg_pcm::{FaultConfig, LineData, MemoryController, TimingModel};
+use rand::rngs::{SmallRng, StdRng};
+use rand::{RngExt, SeedableRng};
+use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_lifetime::{
+    srbsg_raa_degraded_exact_trials, srbsg_raa_degraded_lifetime,
+    srbsg_raa_degraded_lifetime_trials, PcmParams, SrbsgParams,
+};
+use srbsg_pcm::{FaultConfig, LineData, MemoryController, MultiBankSystem, TimingModel};
 use srbsg_wearlevel::Rbsg;
 
 use crate::table::Table;
@@ -26,6 +39,8 @@ use crate::Opts;
 pub fn run(opts: &Opts) {
     degradation_sweep(opts);
     rta_signature_blur(opts);
+    exact_crosscheck(opts);
+    multibank_fault_sweep(opts);
 }
 
 /// Part 1: cov × retry budget × spare pool, fast-forward RAA engine.
@@ -243,6 +258,202 @@ fn rta_signature_blur(opts: &Opts) {
          movement signatures, so every false_* event is a spurious RTA detection; \
          the rare SET-movement signature the attack keys on is hit hardest \
          (false_1125_per_true)"
+    );
+}
+
+/// Part 3: per-seed cross-check of the two degradation tiers on the same
+/// fault knobs, both fanned out on the parallel trial engine. The exact
+/// tier drives the real scheme write-by-write; the fast-forward tier
+/// amortizes quiet stretches — their exhaustion points must agree within
+/// the modeling gap (the ratio column), not bit-for-bit.
+fn exact_crosscheck(opts: &Opts) {
+    let params = if opts.quick {
+        PcmParams::small(9, 8_000)
+    } else {
+        PcmParams::small(10, 20_000)
+    };
+    let cfg = SrbsgParams {
+        sub_regions: 4,
+        inner_interval: 4,
+        outer_interval: 8,
+        stages: 5,
+    };
+    let fcfg = FaultConfig {
+        seed: 0x5EED,
+        endurance_cov: 0.1,
+        transient_prob: 1e-5,
+        wearout_boost: 1e-3,
+        max_retries: 3,
+        retry_fail_ratio: 0.3,
+        ecp_entries: 2,
+        ecp_wear_step: params.endurance / 50,
+        spare_lines: 16,
+    };
+    let seeds: Vec<u64> = (0..opts.seeds.max(2)).collect();
+    let exact =
+        srbsg_raa_degraded_exact_trials(&params, &cfg, &fcfg, &seeds, u128::MAX >> 1, opts.jobs);
+    let ff =
+        srbsg_raa_degraded_lifetime_trials(&params, &cfg, &fcfg, &seeds, u128::MAX >> 1, opts.jobs);
+    let mut t = Table::new(
+        &format!(
+            "faults — exact-tier cross-check (2^{} lines, E={}, {} seeds)",
+            params.width(),
+            params.endurance,
+            seeds.len()
+        ),
+        &[
+            "seed",
+            "exact_exhaust_writes",
+            "ff_exhaust_writes",
+            "ff_per_exact",
+            "exact_retired",
+            "ff_retired",
+            "exact_retry_pulses",
+            "ff_retry_pulses",
+        ],
+    );
+    for ((s, e), f) in seeds.iter().zip(&exact).zip(&ff) {
+        t.row(vec![
+            s.to_string(),
+            format!("{:.3e}", e.capacity_exhaustion.writes as f64),
+            format!("{:.3e}", f.capacity_exhaustion.writes as f64),
+            format!(
+                "{:.3}",
+                f.capacity_exhaustion.writes as f64 / e.capacity_exhaustion.writes as f64
+            ),
+            e.report.stats.lines_retired.to_string(),
+            f.report.stats.lines_retired.to_string(),
+            e.report.stats.retries_issued.to_string(),
+            f.report.stats.retries_issued.to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "faults_exact");
+}
+
+/// Part 4: skewed traffic over a 4-bank fault-injected system. Half the
+/// writes hammer bank 0's addresses, so it exhausts its spares long before
+/// the rest; the per-bank report keeps the system serving on the healthy
+/// banks — the failure unit is the bank, not the system.
+fn multibank_fault_sweep(opts: &Opts) {
+    const B: usize = 4;
+    let endurance: u64 = if opts.quick { 2_000 } else { 5_000 };
+    let budget: u64 = if opts.quick { 800_000 } else { 2_500_000 };
+    let spares_list: &[u64] = &[0, 4, 16];
+    let mut items: Vec<(u64, u64)> = Vec::new();
+    for &spare_lines in spares_list {
+        for seed in 0..opts.seeds {
+            items.push((spare_lines, seed));
+        }
+    }
+    let rows = srbsg_parallel::par_map(items, opts.jobs, move |(spare_lines, seed)| {
+        let schemes: Vec<SecurityRbsg> = (0..B)
+            .map(|b| {
+                let mut sc = SecurityRbsgConfig::small(7, 2);
+                sc.seed = seed ^ ((b as u64) << 32);
+                SecurityRbsg::new(sc)
+            })
+            .collect();
+        let fcfg = FaultConfig {
+            seed: 0xBA9C ^ seed,
+            endurance_cov: 0.15,
+            transient_prob: 1e-5,
+            wearout_boost: 1e-3,
+            max_retries: 2,
+            retry_fail_ratio: 0.3,
+            ecp_entries: 1,
+            ecp_wear_step: endurance / 50,
+            spare_lines,
+        };
+        let mut sys = MultiBankSystem::with_faults(schemes, endurance, TimingModel::PAPER, fcfg);
+        let lines = sys.logical_lines();
+        let mut rng = SmallRng::seed_from_u64(0x4BA9 ^ seed);
+        let mut first_death: Option<u64> = None;
+        let mut served_after_death = 0u64;
+        let mut issued = 0u64;
+        for i in 0..budget {
+            // Skew: half the traffic hammers bank 0's addresses.
+            let la = if rng.random_bool(0.5) {
+                rng.random_range(0..lines / B as u64) * B as u64
+            } else {
+                rng.random_range(0..lines)
+            };
+            let data = LineData::Mixed(rng.random_range(0u64..=u32::MAX as u64) as u32);
+            let resp = sys.try_write(la, data).expect("in-range write");
+            issued = i + 1;
+            if first_death.is_none() && sys.any_bank_failed() {
+                first_death = Some(issued);
+            }
+            if first_death.is_some() && !resp.failed {
+                served_after_death += 1;
+            }
+            if sys.failed() {
+                break;
+            }
+        }
+        // The satellite fix under test: one dead bank must not read as a
+        // dead system while any bank still serves.
+        assert_eq!(
+            sys.failed(),
+            sys.degradation_report().failed_banks.len() == B,
+            "system death must mean every bank is dead"
+        );
+        eprintln!("[faults] multibank spares={spare_lines} seed={seed} done");
+        (
+            spare_lines,
+            seed,
+            first_death,
+            served_after_death,
+            issued,
+            sys.degradation_report(),
+        )
+    });
+    let mut t = Table::new(
+        &format!(
+            "faults — multi-bank sweep ({B} banks, 2^7 lines each, E={endurance}, \
+             50% of writes on bank 0, budget {budget})"
+        ),
+        &[
+            "spares",
+            "seed",
+            "first_death_writes",
+            "served_after_death",
+            "failed_banks",
+            "worst_bank",
+            "worst_pressure",
+            "retired_total",
+            "ecp_total",
+            "sys_failed",
+        ],
+    );
+    for (spare_lines, seed, first_death, served_after_death, issued, rep) in rows {
+        t.row(vec![
+            spare_lines.to_string(),
+            seed.to_string(),
+            first_death.map_or_else(|| "-".to_string(), |w| w.to_string()),
+            served_after_death.to_string(),
+            if rep.failed_banks.is_empty() {
+                "-".to_string()
+            } else {
+                rep.failed_banks
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";")
+            },
+            rep.worst_bank.to_string(),
+            format!("{:.2}", rep.worst().spare_pressure()),
+            rep.totals().lines_retired.to_string(),
+            rep.totals().ecp_entries_consumed.to_string(),
+            (rep.failed_banks.len() == B && issued > 0).to_string(),
+        ]);
+    }
+    t.print();
+    t.write_csv(&opts.out_dir, "faults_multibank");
+    println!(
+        "one dead bank no longer reports the whole system dead: writes keep landing \
+         on the healthy banks after first_death (served_after_death), and the \
+         per-bank report pins the casualty (worst_bank, failed_banks)"
     );
 }
 

@@ -17,6 +17,8 @@
 //!   ablation  DCW and delayed-write-buffer ablations
 //!   faults    Fault-injection sweep (endurance variation × retry budget ×
 //!             spare pool) + RTA signature blur from verify-retries
+//!   serve     Chaos replay through the batched serving front-end
+//!             (bounded queues, deadlines, retry/backoff, quarantine)
 //!   all       Everything above
 //! ```
 //!
@@ -42,6 +44,7 @@ mod fig16;
 mod normal;
 mod overhead;
 mod perf;
+mod serve;
 mod table;
 
 use srbsg_lifetime::PcmParams;
@@ -129,6 +132,7 @@ fn main() {
         "normal" => normal::run(&opts),
         "ablation" => ablation::run(&opts),
         "faults" => faults::run(&opts),
+        "serve" => serve::run(&opts),
         "all" => {
             fig11::run(&opts);
             fig12::run(&opts);
@@ -142,6 +146,7 @@ fn main() {
             normal::run(&opts);
             ablation::run(&opts);
             faults::run(&opts);
+            serve::run(&opts);
         }
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -151,7 +156,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|all> \
          [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);

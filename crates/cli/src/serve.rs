@@ -1,0 +1,369 @@
+//! `experiments serve` — chaos replay through the batched serving
+//! front-end (`srbsg-serve`).
+//!
+//! Eight Security-RBSG banks, three of them deliberately hostile:
+//!
+//! * **bank 1 (faulty)** — elevated transient write-failure rate with a
+//!   weak device-level retry ladder, plus periodic arrival bursts aimed at
+//!   it, so the front-end's bounded queues and retry/backoff both fire;
+//! * **bank 2 (slow)** — every device latency 6×, so sustained load blows
+//!   deadlines and the front-end sheds it as `DeadlineExceeded`;
+//! * **bank 5 (dying)** — low endurance and a tiny spare pool, hammered by
+//!   a mid-trace hot-spot, so spare pressure crosses the quarantine
+//!   threshold while the trace is still running.
+//!
+//! After the replay, every acknowledged write is audited by reading the
+//! line back: `lost_acked` must be zero — acknowledgment means the data is
+//! on the device, whatever the chaos. The replay, the table, and
+//! `results/serve.csv` are byte-identical for any `--jobs N`.
+
+use crate::table::Table;
+use crate::Opts;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_pcm::{FaultConfig, LineData, MemoryController, MultiBankSystem, Ns, TimingModel};
+use srbsg_serve::{percentile_ns, FrontEnd, Op, Rejected, Request, ServeConfig};
+use std::collections::BTreeMap;
+
+const BANKS: usize = 8;
+const FAULTY_BANK: usize = 1;
+const SLOW_BANK: usize = 2;
+const DYING_BANK: usize = 5;
+
+/// Per-bank outcome accumulators, folded from completions in id order.
+#[derive(Debug, Clone, Default)]
+struct BankAcc {
+    submitted: u64,
+    served_reads: u64,
+    served_writes: u64,
+    retries: u64,
+    rej_queue_full: u64,
+    rej_deadline: u64,
+    rej_quarantine: u64,
+    rej_retries: u64,
+    rej_fault: u64,
+    latencies: Vec<Ns>,
+}
+
+impl BankAcc {
+    fn rejected(&self) -> u64 {
+        self.rej_queue_full
+            + self.rej_deadline
+            + self.rej_quarantine
+            + self.rej_retries
+            + self.rej_fault
+    }
+}
+
+fn build_system(opts: &Opts) -> MultiBankSystem<SecurityRbsg> {
+    let width = if opts.quick { 8 } else { 10 };
+    let healthy_endurance = 1_000_000_000;
+    let dying_endurance = if opts.quick { 60 } else { 90 };
+    let base_faults = FaultConfig {
+        endurance_cov: 0.1,
+        transient_prob: 1e-4,
+        max_retries: 2,
+        retry_fail_ratio: 0.5,
+        ecp_entries: 2,
+        ecp_wear_step: 25,
+        spare_lines: 16,
+        ..FaultConfig::default()
+    };
+    let banks = (0..BANKS)
+        .map(|b| {
+            let mut scheme_cfg = SecurityRbsgConfig::small(width, 2);
+            scheme_cfg.seed = 0xD00D_F00D ^ (b as u64);
+            let scheme = SecurityRbsg::new(scheme_cfg);
+            let faults = FaultConfig {
+                seed: 0xFA17_5EED ^ ((b as u64) << 8),
+                ..base_faults
+            };
+            match b {
+                FAULTY_BANK => MemoryController::with_faults(
+                    scheme,
+                    healthy_endurance,
+                    TimingModel::PAPER,
+                    FaultConfig {
+                        transient_prob: 0.05,
+                        max_retries: 1,
+                        retry_fail_ratio: 0.9,
+                        ..faults
+                    },
+                ),
+                SLOW_BANK => {
+                    let slow = TimingModel {
+                        read_ns: TimingModel::PAPER.read_ns * 6,
+                        set_ns: TimingModel::PAPER.set_ns * 6,
+                        reset_ns: TimingModel::PAPER.reset_ns * 6,
+                        sram_ns: TimingModel::PAPER.sram_ns * 6,
+                        ..TimingModel::PAPER
+                    };
+                    MemoryController::with_faults(scheme, healthy_endurance, slow, faults)
+                }
+                DYING_BANK => MemoryController::with_faults(
+                    scheme,
+                    dying_endurance,
+                    TimingModel::PAPER,
+                    FaultConfig {
+                        endurance_cov: 0.15,
+                        ecp_entries: 1,
+                        spare_lines: 4,
+                        ..faults
+                    },
+                ),
+                _ => MemoryController::with_faults(
+                    scheme,
+                    healthy_endurance,
+                    TimingModel::PAPER,
+                    faults,
+                ),
+            }
+        })
+        .collect();
+    MultiBankSystem::from_controllers(banks)
+}
+
+/// The chaos schedule: a uniform read/write mix with recurring arrival
+/// bursts at the faulty bank and a mid-trace hot-spot on the dying bank.
+fn chaos_trace(opts: &Opts, system_lines: u64, batch: usize) -> Vec<Request> {
+    let n = if opts.quick { 24_000 } else { 96_000 };
+    let lines_per_bank = system_lines / BANKS as u64;
+    let hot: Vec<u64> = (0..4)
+        .map(|k| k * BANKS as u64 + DYING_BANK as u64)
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(0x5E4E_CA05);
+    let mut arrival: Ns = 0;
+    let mut reqs = Vec::with_capacity(n);
+    for i in 0..n {
+        arrival += rng.random_range(50u64..250) as Ns;
+        let batch_idx = i / batch;
+        let in_burst = batch_idx % 8 == 4;
+        let in_hotspot = i >= n / 3 && i < 2 * n / 3;
+        let la = if in_burst && rng.random_bool(0.7) {
+            // Burst: pile onto the faulty bank until its queue overflows.
+            rng.random_range(0..lines_per_bank) * BANKS as u64 + FAULTY_BANK as u64
+        } else if in_hotspot && rng.random_bool(0.33) {
+            // Hot-spot: hammer four lines of the dying bank.
+            hot[rng.random_range(0usize..hot.len())]
+        } else {
+            rng.random_range(0..system_lines)
+        };
+        let op = if rng.random_bool(0.55) {
+            Op::Write(LineData::Mixed(
+                rng.random_range(0u64..u32::MAX as u64) as u32
+            ))
+        } else {
+            Op::Read
+        };
+        reqs.push(Request {
+            la,
+            op,
+            arrival_ns: arrival,
+            deadline_ns: arrival + 60_000,
+        });
+    }
+    reqs
+}
+
+pub fn run(opts: &Opts) {
+    let batch = 256;
+    let serve_cfg = ServeConfig {
+        queue_depth: 32,
+        max_retries: 3,
+        backoff_base_ns: 500,
+        backoff_cap_ns: 16_000,
+        backoff_seed: 0x5E4E_5EED,
+        quarantine_spare_frac: 0.5,
+    };
+    let system = build_system(opts);
+    let lines = system.logical_lines();
+    let reqs = chaos_trace(opts, lines, batch);
+    let mut fe = FrontEnd::new(system, serve_cfg);
+
+    let mut acc: Vec<BankAcc> = vec![BankAcc::default(); BANKS];
+    // Write-loss audit: last device-touching write per address, and
+    // whether it was acknowledged. Only acknowledged last-writers must
+    // read back intact; an unverified pulse may leave the line torn.
+    let mut last_touch: BTreeMap<u64, (LineData, bool)> = BTreeMap::new();
+
+    for chunk in reqs.chunks(batch) {
+        let done = fe.submit_batch(chunk.to_vec(), opts.jobs);
+        for (req, c) in chunk.iter().zip(&done) {
+            let bank = (req.la % BANKS as u64) as usize;
+            let a = &mut acc[bank];
+            a.submitted += 1;
+            match &c.result {
+                Ok(s) => {
+                    if s.data.is_some() {
+                        a.served_reads += 1;
+                    } else {
+                        a.served_writes += 1;
+                    }
+                    a.retries += s.retries as u64;
+                    a.latencies.push(s.latency_ns);
+                }
+                Err(Rejected::QueueFull { .. }) => a.rej_queue_full += 1,
+                Err(Rejected::DeadlineExceeded { attempts, .. }) => {
+                    a.rej_deadline += 1;
+                    a.retries += attempts.saturating_sub(1) as u64;
+                }
+                Err(Rejected::BankQuarantined { .. }) => a.rej_quarantine += 1,
+                Err(Rejected::RetriesExhausted { attempts, .. }) => {
+                    a.rej_retries += 1;
+                    a.retries += attempts.saturating_sub(1) as u64;
+                }
+                Err(Rejected::Fault(_)) => a.rej_fault += 1,
+            }
+            if let Op::Write(data) = req.op {
+                if c.touched_device(true) {
+                    last_touch.insert(req.la, (data, c.result.is_ok()));
+                }
+            }
+        }
+    }
+
+    // Read back every address whose last device-touching write was
+    // acknowledged: an acknowledged write that does not survive is a lost
+    // write, and there must be none.
+    let mut audited = 0u64;
+    let mut lost_acked = 0u64;
+    for (&la, &(data, acked)) in &last_touch {
+        if !acked {
+            continue;
+        }
+        audited += 1;
+        let (stored, _) = fe.system_mut().try_read(la).expect("audit read");
+        if stored != data {
+            lost_acked += 1;
+        }
+    }
+
+    let quarantined_at: Vec<Option<Ns>> = (0..BANKS)
+        .map(|b| {
+            fe.quarantine_events()
+                .iter()
+                .find(|e| e.bank == b)
+                .map(|e| e.at_ns)
+        })
+        .collect();
+
+    let mut t = Table::new(
+        &format!(
+            "Chaos replay through the serving front-end ({} requests, batch {batch}, \
+             queue {}, {} front-end retries)",
+            reqs.len(),
+            serve_cfg.queue_depth,
+            serve_cfg.max_retries
+        ),
+        &[
+            "bank",
+            "role",
+            "submitted",
+            "reads",
+            "writes",
+            "retries",
+            "rej_queue",
+            "rej_deadline",
+            "rej_quarantine",
+            "rej_retry",
+            "rej_fault",
+            "rej_rate",
+            "p50_ns",
+            "p99_ns",
+            "p999_ns",
+            "quarantined_at_ns",
+            "lost_acked",
+        ],
+    );
+    let role = |b: usize| match b {
+        FAULTY_BANK => "faulty",
+        SLOW_BANK => "slow",
+        DYING_BANK => "dying",
+        _ => "healthy",
+    };
+    let mut total = BankAcc::default();
+    for (b, a) in acc.iter().enumerate() {
+        let mut lat = a.latencies.clone();
+        lat.sort_unstable();
+        t.row(vec![
+            b.to_string(),
+            role(b).to_string(),
+            a.submitted.to_string(),
+            a.served_reads.to_string(),
+            a.served_writes.to_string(),
+            a.retries.to_string(),
+            a.rej_queue_full.to_string(),
+            a.rej_deadline.to_string(),
+            a.rej_quarantine.to_string(),
+            a.rej_retries.to_string(),
+            a.rej_fault.to_string(),
+            format!("{:.4}", a.rejected() as f64 / a.submitted.max(1) as f64),
+            percentile_ns(&lat, 50.0).to_string(),
+            percentile_ns(&lat, 99.0).to_string(),
+            percentile_ns(&lat, 99.9).to_string(),
+            quarantined_at[b].map_or_else(|| "-".to_string(), |ns| ns.to_string()),
+            "-".to_string(),
+        ]);
+        total.submitted += a.submitted;
+        total.served_reads += a.served_reads;
+        total.served_writes += a.served_writes;
+        total.retries += a.retries;
+        total.rej_queue_full += a.rej_queue_full;
+        total.rej_deadline += a.rej_deadline;
+        total.rej_quarantine += a.rej_quarantine;
+        total.rej_retries += a.rej_retries;
+        total.rej_fault += a.rej_fault;
+        total.latencies.extend(&a.latencies);
+    }
+    total.latencies.sort_unstable();
+    t.row(vec![
+        "TOTAL".to_string(),
+        "-".to_string(),
+        total.submitted.to_string(),
+        total.served_reads.to_string(),
+        total.served_writes.to_string(),
+        total.retries.to_string(),
+        total.rej_queue_full.to_string(),
+        total.rej_deadline.to_string(),
+        total.rej_quarantine.to_string(),
+        total.rej_retries.to_string(),
+        total.rej_fault.to_string(),
+        format!(
+            "{:.4}",
+            total.rejected() as f64 / total.submitted.max(1) as f64
+        ),
+        percentile_ns(&total.latencies, 50.0).to_string(),
+        percentile_ns(&total.latencies, 99.0).to_string(),
+        percentile_ns(&total.latencies, 99.9).to_string(),
+        "-".to_string(),
+        lost_acked.to_string(),
+    ]);
+    t.print();
+    t.write_csv(&opts.out_dir, "serve");
+
+    println!(
+        "\naudited {audited} acknowledged last-writers; lost acknowledged writes: {lost_acked}"
+    );
+    println!(
+        "quarantine events: {:?}",
+        fe.quarantine_events()
+            .iter()
+            .map(|e| (e.bank, e.at_ns))
+            .collect::<Vec<_>>()
+    );
+
+    // The acceptance bars for this experiment: chaos must actually bite
+    // (something rejected, something retried, the dying bank walled off),
+    // and no acknowledged write may be lost.
+    assert_eq!(lost_acked, 0, "acknowledged writes must survive chaos");
+    assert!(
+        total.rejected() > 0,
+        "chaos schedule produced no rejections"
+    );
+    assert!(total.retries > 0, "chaos schedule produced no retries");
+    assert!(
+        quarantined_at[DYING_BANK].is_some(),
+        "the dying bank never hit the quarantine threshold"
+    );
+}

@@ -49,3 +49,29 @@ fn fig12_output_is_byte_identical_across_job_counts() {
     }
     std::fs::remove_dir_all(&base).ok();
 }
+
+/// The serving front-end is a *stateful* pipeline (shared bank clocks,
+/// quarantine flags, retry backoff), not a pure per-seed fan-out — so it
+/// gets its own end-to-end determinism gate.
+#[test]
+fn serve_output_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!("srbsg-serve-determinism-{}", std::process::id()));
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        outputs.push((jobs, run_fig("serve", jobs, &dir)));
+    }
+    let (_, serial) = &outputs[0];
+    for (jobs, parallel) in &outputs[1..] {
+        assert_eq!(
+            serial.0, parallel.0,
+            "serve.csv differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "serve stdout differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

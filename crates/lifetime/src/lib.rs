@@ -36,8 +36,8 @@ pub use srbsg::{
 };
 pub use trials::{
     rbsg_rta_lifetime_trials, sr2_raa_lifetime_trials, sr2_rta_lifetime_trials,
-    srbsg_bpa_lifetime_trials, srbsg_raa_degraded_lifetime_trials, srbsg_raa_lifetime_trials,
-    srbsg_rta_lifetime_trials,
+    srbsg_bpa_lifetime_trials, srbsg_raa_degraded_exact_trials, srbsg_raa_degraded_lifetime_trials,
+    srbsg_raa_lifetime_trials, srbsg_rta_lifetime_trials,
 };
 pub use workload::workload_lifetime;
 

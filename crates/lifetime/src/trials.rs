@@ -11,7 +11,7 @@
 use srbsg_parallel::par_map;
 use srbsg_pcm::FaultConfig;
 
-use crate::faults::{srbsg_raa_degraded_lifetime, DegradationLifetime};
+use crate::faults::{srbsg_raa_degraded_exact, srbsg_raa_degraded_lifetime, DegradationLifetime};
 use crate::rbsg::rbsg_rta_lifetime;
 use crate::sr2::{sr2_raa_lifetime, sr2_rta_lifetime};
 use crate::srbsg::{srbsg_bpa_lifetime, srbsg_raa_lifetime, srbsg_rta_lifetime, SrbsgParams};
@@ -112,6 +112,23 @@ pub fn srbsg_raa_degraded_lifetime_trials(
     })
 }
 
+/// One [`crate::srbsg_raa_degraded_exact`] trial per seed, in seed order:
+/// the exact tier (real scheme, real attack, fault-injected controller)
+/// fanned out the same way as the fast-forward engines.
+pub fn srbsg_raa_degraded_exact_trials(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    fault_cfg: &FaultConfig,
+    seeds: &[u64],
+    max_writes: u128,
+    jobs: usize,
+) -> Vec<DegradationLifetime> {
+    let (p, c, fc) = (*params, *cfg, *fault_cfg);
+    par_map(seeds.to_vec(), jobs, move |s| {
+        srbsg_raa_degraded_exact(&p, &c, &fc, s, max_writes)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +225,20 @@ mod tests {
                 .map(|d| d.capacity_exhaustion.writes)
                 .collect();
         assert_eq!(par, serial);
+
+        let serial: Vec<u128> = seeds
+            .iter()
+            .map(|&s| {
+                srbsg_raa_degraded_exact(&params, &cfg, &fcfg, s, u128::MAX >> 1)
+                    .capacity_exhaustion
+                    .writes
+            })
+            .collect();
+        let par: Vec<u128> =
+            srbsg_raa_degraded_exact_trials(&params, &cfg, &fcfg, &seeds, u128::MAX >> 1, 4)
+                .into_iter()
+                .map(|d| d.capacity_exhaustion.writes)
+                .collect();
+        assert_eq!(par, serial, "exact trials");
     }
 }

@@ -160,6 +160,33 @@ impl<W: WearLeveler> MemoryController<W> {
         }
     }
 
+    /// Service one demand write and report whether it *verified*: if the
+    /// device exhausted its program-and-verify retry budget on this write
+    /// (the data survived only through ECP correction or line retirement),
+    /// the result is [`PcmError::WriteNotVerified`].
+    ///
+    /// The device state still advances on an unverified write — wear,
+    /// retry pulses, ECP/retirement, and the simulated clock are all
+    /// charged exactly as by [`MemoryController::write`] — only the
+    /// acknowledgment is withheld. A front-end that needs durable
+    /// acknowledgment re-issues the request (see `srbsg-serve`). On an
+    /// ideal (fault-free) bank every in-range write verifies.
+    pub fn write_verified(
+        &mut self,
+        la: LineAddr,
+        data: LineData,
+    ) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
+        let stuck_before = self.bank.fault_stats().retry_exhaustions;
+        let resp = self.write_unchecked(la, data);
+        if self.bank.fault_stats().retry_exhaustions > stuck_before {
+            let attempts = self.bank.fault_config().map(|c| c.max_retries).unwrap_or(0);
+            Err(PcmError::WriteNotVerified { la, attempts })
+        } else {
+            Ok(resp)
+        }
+    }
+
     /// Service one demand read, validating the address.
     pub fn try_read(&mut self, la: LineAddr) -> Result<(LineData, Ns), PcmError> {
         self.check_la(la)?;
@@ -432,6 +459,56 @@ mod tests {
         assert!(mc.failed());
         // Failure occurred at exactly the endurance-th write to that slot.
         assert_eq!(mc.bank().failure().unwrap().at_write, 5);
+    }
+
+    #[test]
+    fn write_verified_surfaces_retry_exhaustion() {
+        use crate::FaultConfig;
+        // Every write fails transiently and every device retry fails too:
+        // each write is absorbed by ECP but must be reported unverified.
+        let cfg = FaultConfig {
+            seed: 3,
+            transient_prob: 1.0,
+            max_retries: 2,
+            retry_fail_ratio: 1.0,
+            ecp_entries: u32::MAX,
+            ecp_wear_step: 1_000_000,
+            ..FaultConfig::default()
+        };
+        let mut mc = MemoryController::with_faults(
+            ToyGap::new(4, 1_000),
+            1_000_000,
+            TimingModel::PAPER,
+            cfg,
+        );
+        let before = mc.now_ns();
+        match mc.write_verified(0, LineData::Ones) {
+            Err(crate::PcmError::WriteNotVerified { la, attempts }) => {
+                assert_eq!(la, 0);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected WriteNotVerified, got {other:?}"),
+        }
+        // Device state advanced anyway: wear, clock, and demand count.
+        assert!(mc.now_ns() > before);
+        assert_eq!(mc.demand_writes(), 1);
+        assert!(mc.fault_stats().retry_exhaustions == 1);
+        // Out-of-range still reports the address error, not a verify one.
+        assert!(matches!(
+            mc.write_verified(99, LineData::Ones),
+            Err(crate::PcmError::AddressOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn write_verified_on_ideal_bank_always_acks() {
+        let mut mc = MemoryController::new(ToyGap::new(4, 3), 1_000_000, TimingModel::PAPER);
+        for i in 0..50u64 {
+            let r = mc
+                .write_verified(i % 4, LineData::Ones)
+                .expect("ideal bank");
+            assert!(r.latency_ns >= 1000);
+        }
     }
 
     #[test]

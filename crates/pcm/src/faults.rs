@@ -61,6 +61,26 @@ pub enum PcmError {
         /// Number of logical lines actually exposed.
         lines: u64,
     },
+    /// A demand write exhausted the device's program-and-verify retry
+    /// budget without a verified program pulse (a *transient* failure: the
+    /// mitigation ladder absorbed it via ECP or retirement, but the
+    /// controller cannot acknowledge the write as durably stored).
+    /// Surfaced by [`crate::MemoryController::write_verified`] so a
+    /// serving front-end can retry with its own policy.
+    WriteNotVerified {
+        /// The logical address whose write did not verify.
+        la: LineAddr,
+        /// Device-level retry pulses that were issued before giving up.
+        attempts: u32,
+    },
+}
+
+impl PcmError {
+    /// Whether the error is transient: retrying the same request may
+    /// succeed. Address errors are permanent; verify failures are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PcmError::WriteNotVerified { .. })
+    }
 }
 
 impl fmt::Display for PcmError {
@@ -70,6 +90,12 @@ impl fmt::Display for PcmError {
                 write!(
                     f,
                     "logical address {la} outside address space of {lines} lines"
+                )
+            }
+            PcmError::WriteNotVerified { la, attempts } => {
+                write!(
+                    f,
+                    "write to logical address {la} failed verification after {attempts} device retries"
                 )
             }
         }
@@ -173,6 +199,21 @@ pub struct DegradationReport {
 }
 
 impl DegradationReport {
+    /// How much of the spare-line budget is gone, in `[0, 1]`: the signal
+    /// a serving front-end quarantines on. An exhausted bank reports 1
+    /// regardless of provisioning; a bank with no spares provisioned
+    /// reports 0 until it dies (there is no budget to consume).
+    pub fn spare_pressure(&self) -> f64 {
+        if self.capacity_exhaustion.is_some() {
+            return 1.0;
+        }
+        if self.stats.spares_total == 0 {
+            0.0
+        } else {
+            self.stats.spares_used as f64 / self.stats.spares_total as f64
+        }
+    }
+
     /// Merge another bank's report (earliest milestone per category by its
     /// own bank-local write count; counters summed).
     pub fn merge(&mut self, other: &DegradationReport) {

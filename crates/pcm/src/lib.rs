@@ -38,7 +38,7 @@ pub use bank::{FailureInfo, PcmBank};
 pub use buffered::BufferedController;
 pub use controller::{MemoryController, WriteResponse};
 pub use faults::{DegradationReport, FaultConfig, PcmError};
-pub use multibank::MultiBankSystem;
+pub use multibank::{MultiBankSystem, SystemDegradationReport};
 pub use stats::{gini_coefficient, normalized_cumulative_wear, FaultStats, WearSummary};
 pub use timing::TimingModel;
 

@@ -9,9 +9,60 @@
 //! state that attack needs.
 
 use crate::{
-    DegradationReport, FaultConfig, LineAddr, LineData, MemoryController, Ns, PcmError,
+    DegradationReport, FaultConfig, FaultStats, LineAddr, LineData, MemoryController, Ns, PcmError,
     TimingModel, WearLeveler, WriteResponse,
 };
+
+/// System-wide degradation, aggregated *per bank* instead of flattened:
+/// the paper's §IV-A manages each bank separately precisely so banks fail
+/// independently, and the report preserves that — one dead bank is one
+/// dead bank, not a dead system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemDegradationReport {
+    /// Each bank's own report, in bank order.
+    pub per_bank: Vec<DegradationReport>,
+    /// The most-degraded bank: exhausted banks first (earliest death
+    /// worst), then by spare pressure, retirements, ECP consumption, and
+    /// transient count; ties break to the lowest index.
+    pub worst_bank: usize,
+    /// Banks whose spare pool has run out.
+    pub failed_banks: Vec<usize>,
+    /// Flattened view (earliest milestone per category across banks, by
+    /// each bank's own write count; counters summed) — what the old
+    /// single-bank-shaped report used to show.
+    pub combined: DegradationReport,
+}
+
+impl SystemDegradationReport {
+    /// The worst bank's report.
+    pub fn worst(&self) -> &DegradationReport {
+        &self.per_bank[self.worst_bank]
+    }
+
+    /// Summed counters across banks.
+    pub fn totals(&self) -> &FaultStats {
+        &self.combined.stats
+    }
+}
+
+/// Whether report `a` is strictly more degraded than `b`.
+fn more_degraded(a: &DegradationReport, b: &DegradationReport) -> bool {
+    match (a.capacity_exhaustion, b.capacity_exhaustion) {
+        (Some(x), Some(y)) => return x.at_write < y.at_write,
+        (Some(_), None) => return true,
+        (None, Some(_)) => return false,
+        (None, None) => {}
+    }
+    let key = |r: &DegradationReport| {
+        (
+            r.spare_pressure(),
+            r.stats.lines_retired as f64,
+            r.stats.ecp_entries_consumed as f64,
+            r.stats.transient_faults as f64,
+        )
+    };
+    key(a) > key(b)
+}
 
 /// A memory system of `B` banks, each with an independent scheme instance.
 ///
@@ -68,6 +119,20 @@ impl<W: WearLeveler> MultiBankSystem<W> {
                 })
                 .collect(),
         }
+    }
+
+    /// Build from pre-assembled per-bank controllers, so each bank can
+    /// carry its *own* timing model, endurance, and fault configuration —
+    /// the heterogeneous-device case a serving front-end must survive (one
+    /// slow bank, one dying bank) rather than the uniform happy path.
+    pub fn from_controllers(banks: Vec<MemoryController<W>>) -> Self {
+        assert!(!banks.is_empty());
+        let lines = banks[0].logical_lines();
+        assert!(
+            banks.iter().all(|b| b.logical_lines() == lines),
+            "banks must expose a uniform logical size"
+        );
+        Self { banks }
     }
 
     /// Number of banks.
@@ -128,19 +193,50 @@ impl<W: WearLeveler> MultiBankSystem<W> {
             .expect("demand read outside the system address space")
     }
 
-    /// Whether any bank has failed.
+    /// Whether the *whole system* is dead: every bank has failed. One dead
+    /// bank degrades the system (its addresses fail, the rest serve); use
+    /// [`MultiBankSystem::bank_failed`] / [`MultiBankSystem::any_bank_failed`]
+    /// for the per-bank view.
     pub fn failed(&self) -> bool {
+        self.banks.iter().all(|b| b.failed())
+    }
+
+    /// Whether at least one bank has failed (the old meaning of
+    /// `failed()`, which reported the whole system dead on the first bank
+    /// death).
+    pub fn any_bank_failed(&self) -> bool {
         self.banks.iter().any(|b| b.failed())
     }
 
-    /// System-wide degradation: per-category earliest milestone (by each
-    /// bank's own write count) and summed counters.
-    pub fn degradation_report(&self) -> DegradationReport {
-        let mut report = DegradationReport::default();
-        for bank in &self.banks {
-            report.merge(&bank.degradation_report());
+    /// Whether bank `bank` has failed (spare pool exhausted, or first
+    /// wear-out on an ideal bank).
+    pub fn bank_failed(&self, bank: usize) -> bool {
+        self.banks[bank].failed()
+    }
+
+    /// System-wide degradation, aggregated per bank: each bank's own
+    /// report, the worst bank, the failed set, and the flattened totals.
+    pub fn degradation_report(&self) -> SystemDegradationReport {
+        let per_bank: Vec<DegradationReport> =
+            self.banks.iter().map(|b| b.degradation_report()).collect();
+        let mut combined = DegradationReport::default();
+        let mut worst_bank = 0usize;
+        let mut failed_banks = Vec::new();
+        for (i, r) in per_bank.iter().enumerate() {
+            combined.merge(r);
+            if r.capacity_exhaustion.is_some() {
+                failed_banks.push(i);
+            }
+            if more_degraded(r, &per_bank[worst_bank]) {
+                worst_bank = i;
+            }
         }
-        report
+        SystemDegradationReport {
+            per_bank,
+            worst_bank,
+            failed_banks,
+            combined,
+        }
     }
 
     /// System time: the furthest-ahead bank clock (banks run in parallel).
@@ -151,6 +247,19 @@ impl<W: WearLeveler> MultiBankSystem<W> {
     /// Per-bank controllers (statistics, white-box inspection).
     pub fn banks(&self) -> &[MemoryController<W>] {
         &self.banks
+    }
+
+    /// Mutable per-bank controllers, for front-end structures that drive
+    /// each bank on its own worker (see `srbsg-serve`). Banks share no
+    /// state, so driving them concurrently preserves determinism as long
+    /// as each bank's own request order is fixed.
+    pub fn banks_mut(&mut self) -> &mut [MemoryController<W>] {
+        &mut self.banks
+    }
+
+    /// Mutable access to one bank's controller.
+    pub fn bank_mut(&mut self, bank: usize) -> &mut MemoryController<W> {
+        &mut self.banks[bank]
     }
 }
 
@@ -266,6 +375,54 @@ mod tests {
         let t1 = s.banks()[1].now_ns();
         assert_eq!(s.now_ns(), t0.max(t1));
         assert!(s.now_ns() < t0 + t1);
+    }
+
+    #[test]
+    fn one_dead_bank_does_not_report_the_system_dead() {
+        let mut s = MultiBankSystem::new(
+            (0..3).map(|_| Gap::new(16, 4)).collect(),
+            200,
+            TimingModel::PAPER,
+        );
+        // Hammer bank 1 only until one of its lines wears out.
+        let mut i = 0u64;
+        while !s.bank_failed(1) {
+            s.write(1 + 3 * (i % 16), LineData::Ones);
+            i += 1;
+        }
+        assert!(s.bank_failed(1));
+        assert!(!s.bank_failed(0) && !s.bank_failed(2));
+        assert!(s.any_bank_failed());
+        assert!(!s.failed(), "one dead bank must not fail the system");
+        let report = s.degradation_report();
+        assert_eq!(report.per_bank.len(), 3);
+        assert_eq!(report.failed_banks, vec![1]);
+        assert_eq!(report.worst_bank, 1);
+        assert!(report.worst().capacity_exhaustion.is_some());
+        assert!(report.combined.capacity_exhaustion.is_some());
+        // Healthy banks still serve both reads and writes.
+        assert!(s.try_write(0, LineData::Zeros).is_ok());
+        assert!(s.try_read(2).is_ok());
+    }
+
+    #[test]
+    fn from_controllers_allows_heterogeneous_banks() {
+        let slow = TimingModel {
+            read_ns: TimingModel::PAPER.read_ns * 4,
+            set_ns: TimingModel::PAPER.set_ns * 4,
+            reset_ns: TimingModel::PAPER.reset_ns * 4,
+            ..TimingModel::PAPER
+        };
+        let banks = vec![
+            MemoryController::new(Gap::new(16, 4), 100_000, TimingModel::PAPER),
+            MemoryController::new(Gap::new(16, 4), 100_000, slow),
+        ];
+        let mut s = MultiBankSystem::from_controllers(banks);
+        assert_eq!(s.bank_count(), 2);
+        assert_eq!(s.logical_lines(), 32);
+        let fast = s.write(0, LineData::Ones).latency_ns; // bank 0
+        let slow = s.write(1, LineData::Ones).latency_ns; // bank 1
+        assert_eq!(slow, fast * 4, "per-bank timing models must be honored");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Deterministic capped exponential backoff with seeded jitter.
+//!
+//! Retried writes must not resynchronize into lockstep (the thundering
+//! herd the jitter breaks up in a real controller), but the simulation
+//! must stay bit-reproducible for any worker count. Each (request id,
+//! retry index) therefore owns a private SplitMix64 draw — no shared RNG
+//! stream, no ordering sensitivity.
+
+use crate::ServeConfig;
+use srbsg_pcm::Ns;
+
+/// One SplitMix64 output for a given state (stateless, keyed draw).
+#[inline]
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Backoff interval before front-end retry number `retry` (1-based) of
+/// request `id`.
+///
+/// The nominal interval is `base · 2^(retry-1)`, capped at
+/// [`ServeConfig::backoff_cap_ns`]; the returned delay is drawn uniformly
+/// from `[nominal/2, nominal]` ("equal jitter"), so it never exceeds the
+/// cap and never collapses to zero. Deterministic in
+/// `(backoff_seed, id, retry)` alone.
+pub fn backoff_ns(cfg: &ServeConfig, id: u64, retry: u32) -> Ns {
+    debug_assert!(retry >= 1, "retry index is 1-based");
+    let shift = (retry.saturating_sub(1)).min(63);
+    let nominal = cfg
+        .backoff_base_ns
+        .checked_shl(shift)
+        .unwrap_or(u64::MAX)
+        .min(cfg.backoff_cap_ns);
+    let half = nominal / 2;
+    if half == 0 {
+        return nominal as Ns;
+    }
+    let key = cfg
+        .backoff_seed
+        .wrapping_add(id.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add((retry as u64) << 32);
+    (half + splitmix64(key) % (nominal - half + 1)) as Ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            backoff_base_ns: 100,
+            backoff_cap_ns: 1_600,
+            backoff_seed: 42,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn delay_is_deterministic_per_request_and_attempt() {
+        let c = cfg();
+        for id in 0..50u64 {
+            for retry in 1..=8u32 {
+                assert_eq!(backoff_ns(&c, id, retry), backoff_ns(&c, id, retry));
+            }
+        }
+        // Different requests draw different jitter (overwhelmingly).
+        let distinct: std::collections::HashSet<Ns> =
+            (0..100u64).map(|id| backoff_ns(&c, id, 3)).collect();
+        assert!(distinct.len() > 10, "jitter must actually vary");
+    }
+
+    #[test]
+    fn delay_stays_within_half_to_full_nominal_and_caps() {
+        let c = cfg();
+        for id in 0..200u64 {
+            for retry in 1..=20u32 {
+                let nominal = (c.backoff_base_ns << (retry - 1).min(63)).min(c.backoff_cap_ns);
+                let d = backoff_ns(&c, id, retry);
+                assert!(
+                    d >= (nominal / 2) as Ns,
+                    "retry {retry}: {d} < {}",
+                    nominal / 2
+                );
+                assert!(d <= nominal as Ns, "retry {retry}: {d} > {nominal}");
+                assert!(d <= c.backoff_cap_ns as Ns, "cap violated at retry {retry}");
+            }
+        }
+    }
+
+    #[test]
+    fn nominal_doubles_until_the_cap() {
+        let c = cfg();
+        // 100, 200, 400, 800, 1600, 1600, 1600, ...
+        let nominal = |r: u32| (c.backoff_base_ns << (r - 1).min(63)).min(c.backoff_cap_ns);
+        assert_eq!(nominal(1), 100);
+        assert_eq!(nominal(2), 200);
+        assert_eq!(nominal(5), 1_600);
+        assert_eq!(nominal(6), 1_600);
+        assert_eq!(nominal(32), 1_600);
+        // Huge retry indices must not overflow the shift.
+        let _ = backoff_ns(&c, 7, u32::MAX);
+    }
+}

@@ -1,0 +1,299 @@
+//! The front-end engine: admission, per-bank queue drain, merge.
+
+use srbsg_parallel::par_map;
+use srbsg_pcm::{LineAddr, MemoryController, MultiBankSystem, Ns, PcmError, WearLeveler};
+
+use crate::{backoff_ns, Completion, Op, Rejected, Request, ServeConfig, ServeStats, Served};
+
+/// A bank crossing its quarantine threshold, as observed by its worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineEvent {
+    /// The quarantined bank.
+    pub bank: usize,
+    /// The bank clock when the threshold was crossed.
+    pub at_ns: Ns,
+    /// The spare pressure that tripped it.
+    pub spare_pressure: f64,
+}
+
+/// A command parked in a bank's bounded queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: u64,
+    /// In-bank line address (post-routing).
+    addr: LineAddr,
+    req: Request,
+}
+
+/// The serving front-end. Owns the multi-bank system; all mutation goes
+/// through [`FrontEnd::submit_batch`].
+#[derive(Debug)]
+pub struct FrontEnd<W: WearLeveler> {
+    system: MultiBankSystem<W>,
+    cfg: ServeConfig,
+    quarantined: Vec<bool>,
+    events: Vec<QuarantineEvent>,
+    stats: ServeStats,
+    next_id: u64,
+}
+
+impl<W: WearLeveler + Send> FrontEnd<W> {
+    /// Front the given system with the given policy.
+    pub fn new(system: MultiBankSystem<W>, cfg: ServeConfig) -> Self {
+        let banks = system.bank_count();
+        Self {
+            system,
+            cfg: cfg.validated(),
+            quarantined: vec![false; banks],
+            events: Vec::new(),
+            stats: ServeStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The underlying system (statistics, white-box inspection).
+    pub fn system(&self) -> &MultiBankSystem<W> {
+        &self.system
+    }
+
+    /// Mutable system access (e.g. post-trace read-back audits).
+    pub fn system_mut(&mut self) -> &mut MultiBankSystem<W> {
+        &mut self.system
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Quarantine events so far, in trigger order (bank order within a
+    /// batch — deterministic for any worker count).
+    pub fn quarantine_events(&self) -> &[QuarantineEvent] {
+        &self.events
+    }
+
+    /// Whether `bank` is currently quarantined.
+    pub fn is_quarantined(&self, bank: usize) -> bool {
+        self.quarantined[bank]
+    }
+
+    /// Submit one batch of requests and drain every bank queue to
+    /// completion on up to `jobs` workers.
+    ///
+    /// Returns one [`Completion`] per request, in submission order
+    /// (ids are assigned sequentially across batches). The returned
+    /// completions, the internal counters, and the quarantine-event log
+    /// are bit-for-bit identical for any `jobs >= 1`.
+    pub fn submit_batch(&mut self, batch: Vec<Request>, jobs: usize) -> Vec<Completion> {
+        let nbanks = self.system.bank_count();
+        let lines = self.system.logical_lines();
+        let mut queues: Vec<Vec<Queued>> = (0..nbanks).map(|_| Vec::new()).collect();
+        let mut completions: Vec<Completion> = Vec::with_capacity(batch.len());
+
+        // Admission: route, then apply quarantine and queue-depth
+        // backpressure before anything can touch device state.
+        for req in batch {
+            let id = self.next_id;
+            self.next_id += 1;
+            if req.la >= lines {
+                completions.push(Completion {
+                    id,
+                    result: Err(Rejected::Fault(PcmError::AddressOutOfRange {
+                        la: req.la,
+                        lines,
+                    })),
+                });
+                continue;
+            }
+            let (bank, addr) = self.system.route(req.la);
+            if self.quarantined[bank] && matches!(req.op, Op::Write(_)) {
+                completions.push(Completion {
+                    id,
+                    result: Err(Rejected::BankQuarantined { bank }),
+                });
+                continue;
+            }
+            if queues[bank].len() >= self.cfg.queue_depth {
+                completions.push(Completion {
+                    id,
+                    result: Err(Rejected::QueueFull {
+                        bank,
+                        depth: self.cfg.queue_depth,
+                    }),
+                });
+                continue;
+            }
+            queues[bank].push(Queued { id, addr, req });
+        }
+
+        // Drain: one worker per bank. A worker mutates only its own bank,
+        // its own quarantine flag, and its own completion list, so the
+        // fan-out is deterministic for any job count.
+        let cfg = self.cfg;
+        let items: Vec<(usize, &mut MemoryController<W>, bool, Vec<Queued>)> = self
+            .system
+            .banks_mut()
+            .iter_mut()
+            .zip(queues)
+            .enumerate()
+            .map(|(i, (mc, q))| (i, mc, self.quarantined[i], q))
+            .collect();
+        let drained = par_map(items, jobs, move |(bank, mc, mut quarantined, queue)| {
+            let mut done = Vec::with_capacity(queue.len());
+            let mut event = None;
+            for q in queue {
+                let result = serve_one(&cfg, bank, mc, &mut quarantined, &mut event, &q);
+                done.push(Completion { id: q.id, result });
+            }
+            (bank, quarantined, event, done)
+        });
+
+        // Merge in bank order, then restore submission order.
+        for (bank, quarantined, event, done) in drained {
+            self.quarantined[bank] = quarantined;
+            if let Some(e) = event {
+                self.events.push(e);
+            }
+            completions.extend(done);
+        }
+        completions.sort_by_key(|c| c.id);
+        for c in &completions {
+            self.account(c);
+        }
+        completions
+    }
+
+    fn account(&mut self, c: &Completion) {
+        self.stats.submitted += 1;
+        match &c.result {
+            Ok(s) => {
+                if s.data.is_some() {
+                    self.stats.served_reads += 1;
+                } else {
+                    self.stats.served_writes += 1;
+                }
+                self.stats.retries += s.retries as u64;
+            }
+            Err(Rejected::QueueFull { .. }) => self.stats.rejected_queue_full += 1,
+            Err(Rejected::DeadlineExceeded { attempts, .. }) => {
+                self.stats.rejected_deadline += 1;
+                self.stats.retries += attempts.saturating_sub(1) as u64;
+            }
+            Err(Rejected::BankQuarantined { .. }) => self.stats.rejected_quarantine += 1,
+            Err(Rejected::RetriesExhausted { attempts, .. }) => {
+                self.stats.rejected_retries += 1;
+                self.stats.retries += attempts.saturating_sub(1) as u64;
+            }
+            Err(Rejected::Fault(_)) => self.stats.rejected_fault += 1,
+        }
+    }
+}
+
+/// Re-check the quarantine threshold after device-state movement.
+fn maybe_quarantine<W: WearLeveler>(
+    cfg: &ServeConfig,
+    bank: usize,
+    mc: &MemoryController<W>,
+    quarantined: &mut bool,
+    event: &mut Option<QuarantineEvent>,
+) {
+    if *quarantined || cfg.quarantine_spare_frac <= 0.0 {
+        return;
+    }
+    let pressure = mc.degradation_report().spare_pressure();
+    if pressure >= cfg.quarantine_spare_frac {
+        *quarantined = true;
+        if event.is_none() {
+            *event = Some(QuarantineEvent {
+                bank,
+                at_ns: mc.now_ns(),
+                spare_pressure: pressure,
+            });
+        }
+    }
+}
+
+/// Serve one queued command against its bank.
+fn serve_one<W: WearLeveler>(
+    cfg: &ServeConfig,
+    bank: usize,
+    mc: &mut MemoryController<W>,
+    quarantined: &mut bool,
+    event: &mut Option<QuarantineEvent>,
+    q: &Queued,
+) -> Result<Served, Rejected> {
+    // Idle the bank up to the request's arrival; a busy bank is already
+    // past it and the request waits instead.
+    if mc.now_ns() < q.req.arrival_ns {
+        let idle = q.req.arrival_ns - mc.now_ns();
+        mc.advance_clock(idle);
+    }
+    if mc.now_ns() > q.req.deadline_ns {
+        return Err(Rejected::DeadlineExceeded {
+            bank,
+            deadline_ns: q.req.deadline_ns,
+            ready_ns: mc.now_ns(),
+            attempts: 0,
+        });
+    }
+    match q.req.op {
+        Op::Read => match mc.try_read(q.addr) {
+            Ok((data, _lat)) => Ok(Served {
+                bank,
+                latency_ns: mc.now_ns() - q.req.arrival_ns,
+                retries: 0,
+                data: Some(data),
+            }),
+            Err(e) => Err(Rejected::Fault(e)),
+        },
+        Op::Write(data) => {
+            // Mid-queue quarantine: an earlier command in this very batch
+            // tripped the threshold.
+            if *quarantined {
+                return Err(Rejected::BankQuarantined { bank });
+            }
+            let mut retries = 0u32;
+            loop {
+                match mc.write_verified(q.addr, data) {
+                    Ok(_resp) => {
+                        maybe_quarantine(cfg, bank, mc, quarantined, event);
+                        return Ok(Served {
+                            bank,
+                            latency_ns: mc.now_ns() - q.req.arrival_ns,
+                            retries,
+                            data: None,
+                        });
+                    }
+                    Err(PcmError::WriteNotVerified { .. }) => {
+                        // The failed pulses may have consumed ECP entries
+                        // or retired the line — re-check the threshold
+                        // before deciding to keep hammering.
+                        maybe_quarantine(cfg, bank, mc, quarantined, event);
+                        if retries >= cfg.max_retries {
+                            return Err(Rejected::RetriesExhausted {
+                                bank,
+                                attempts: retries + 1,
+                            });
+                        }
+                        retries += 1;
+                        mc.advance_clock(backoff_ns(cfg, q.id, retries));
+                        if mc.now_ns() > q.req.deadline_ns {
+                            return Err(Rejected::DeadlineExceeded {
+                                bank,
+                                deadline_ns: q.req.deadline_ns,
+                                ready_ns: mc.now_ns(),
+                                attempts: retries,
+                            });
+                        }
+                    }
+                    Err(e) => return Err(Rejected::Fault(e)),
+                }
+            }
+        }
+    }
+}
