@@ -18,7 +18,10 @@
 //!   faults    Fault-injection sweep (endurance variation × retry budget ×
 //!             spare pool) + RTA signature blur from verify-retries
 //!   serve     Chaos replay through the batched serving front-end
-//!             (bounded queues, deadlines, retry/backoff, quarantine)
+//!             (bounded queues, deadlines, retry/backoff, quarantine),
+//!             open-loop and closed-loop
+//!   crash     Power-failure injection sweep over the journaled metadata
+//!             stack: torn/partial records, verified recovery, re-keying
 //!   all       Everything above
 //! ```
 //!
@@ -33,6 +36,7 @@
 //! stream, and results are folded in a fixed order.
 
 mod ablation;
+mod crash;
 mod detect;
 mod faults;
 mod fig11;
@@ -133,6 +137,7 @@ fn main() {
         "ablation" => ablation::run(&opts),
         "faults" => faults::run(&opts),
         "serve" => serve::run(&opts),
+        "crash" => crash::run(&opts),
         "all" => {
             fig11::run(&opts);
             fig12::run(&opts);
@@ -147,6 +152,7 @@ fn main() {
             ablation::run(&opts);
             faults::run(&opts);
             serve::run(&opts);
+            crash::run(&opts);
         }
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -156,7 +162,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|all> \
          [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);

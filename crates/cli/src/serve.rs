@@ -12,9 +12,16 @@
 //!   a mid-trace hot-spot, so spare pressure crosses the quarantine
 //!   threshold while the trace is still running.
 //!
-//! After the replay, every acknowledged write is audited by reading the
+//! The trace is replayed twice: **open-loop** (a rejected request is
+//! simply lost, as in the original harness) and **closed-loop** (a client
+//! that resubmits `QueueFull`-rejected requests at the head of the next
+//! batch, up to [`RESUBMIT_CAP`] deferrals, then drops them). The CSV
+//! carries both replays with a `mode` column and distinguishes requests
+//! merely *deferred* from those finally *dropped*.
+//!
+//! After each replay, every acknowledged write is audited by reading the
 //! line back: `lost_acked` must be zero — acknowledgment means the data is
-//! on the device, whatever the chaos. The replay, the table, and
+//! on the device, whatever the chaos. The replays, the table, and
 //! `results/serve.csv` are byte-identical for any `--jobs N`.
 
 use crate::table::Table;
@@ -31,6 +38,10 @@ const FAULTY_BANK: usize = 1;
 const SLOW_BANK: usize = 2;
 const DYING_BANK: usize = 5;
 
+/// How many times the closed-loop client re-queues a `QueueFull`-rejected
+/// request before giving up on it.
+const RESUBMIT_CAP: u32 = 3;
+
 /// Per-bank outcome accumulators, folded from completions in id order.
 #[derive(Debug, Clone, Default)]
 struct BankAcc {
@@ -43,6 +54,12 @@ struct BankAcc {
     rej_quarantine: u64,
     rej_retries: u64,
     rej_fault: u64,
+    /// Closed loop only: `QueueFull` rejections converted into a
+    /// resubmission in a later batch.
+    deferred: u64,
+    /// Closed loop only: requests abandoned after [`RESUBMIT_CAP`]
+    /// deferrals (every drop is also counted in `rej_queue_full`).
+    dropped: u64,
     latencies: Vec<Ns>,
 }
 
@@ -166,19 +183,20 @@ fn chaos_trace(opts: &Opts, system_lines: u64, batch: usize) -> Vec<Request> {
     reqs
 }
 
-pub fn run(opts: &Opts) {
-    let batch = 256;
-    let serve_cfg = ServeConfig {
-        queue_depth: 32,
-        max_retries: 3,
-        backoff_base_ns: 500,
-        backoff_cap_ns: 16_000,
-        backoff_seed: 0x5E4E_5EED,
-        quarantine_spare_frac: 0.5,
-    };
+/// One full replay of the chaos trace through a freshly built system.
+struct Replay {
+    acc: Vec<BankAcc>,
+    audited: u64,
+    lost_acked: u64,
+    quarantined_at: Vec<Option<Ns>>,
+    nreqs: usize,
+}
+
+fn replay(opts: &Opts, serve_cfg: ServeConfig, batch: usize, closed_loop: bool) -> Replay {
     let system = build_system(opts);
     let lines = system.logical_lines();
     let reqs = chaos_trace(opts, lines, batch);
+    let nreqs = reqs.len();
     let mut fe = FrontEnd::new(system, serve_cfg);
 
     let mut acc: Vec<BankAcc> = vec![BankAcc::default(); BANKS];
@@ -186,13 +204,39 @@ pub fn run(opts: &Opts) {
     // whether it was acknowledged. Only acknowledged last-writers must
     // read back intact; an unverified pulse may leave the line torn.
     let mut last_touch: BTreeMap<u64, (LineData, bool)> = BTreeMap::new();
+    // Closed loop: `QueueFull` rejects waiting for the next batch, with
+    // their deferral count.
+    let mut carry: Vec<(Request, u32)> = Vec::new();
+    let mut last_arrival: Ns = 0;
 
-    for chunk in reqs.chunks(batch) {
-        let done = fe.submit_batch(chunk.to_vec(), opts.jobs);
-        for (req, c) in chunk.iter().zip(&done) {
+    let mut chunks = reqs.chunks(batch);
+    loop {
+        let fresh = chunks.next();
+        if fresh.is_none() && carry.is_empty() {
+            break;
+        }
+        let fresh = fresh.unwrap_or(&[]);
+        // Deferred requests re-enter at the head of this batch, re-stamped
+        // to arrive with it (their original deadline is long blown).
+        let base_arrival = fresh
+            .first()
+            .map_or(last_arrival + 60_000, |r| r.arrival_ns);
+        let mut submit: Vec<(Request, u32)> = Vec::with_capacity(carry.len() + fresh.len());
+        for (mut req, tries) in carry.drain(..) {
+            req.arrival_ns = base_arrival;
+            req.deadline_ns = base_arrival + 60_000;
+            submit.push((req, tries));
+        }
+        submit.extend(fresh.iter().map(|r| (*r, 0)));
+        last_arrival = fresh.last().map_or(last_arrival + 60_000, |r| r.arrival_ns);
+
+        let done = fe.submit_batch(submit.iter().map(|(r, _)| *r).collect(), opts.jobs);
+        for ((req, tries), c) in submit.iter().zip(&done) {
             let bank = (req.la % BANKS as u64) as usize;
             let a = &mut acc[bank];
-            a.submitted += 1;
+            if *tries == 0 {
+                a.submitted += 1;
+            }
             match &c.result {
                 Ok(s) => {
                     if s.data.is_some() {
@@ -203,7 +247,17 @@ pub fn run(opts: &Opts) {
                     a.retries += s.retries as u64;
                     a.latencies.push(s.latency_ns);
                 }
-                Err(Rejected::QueueFull { .. }) => a.rej_queue_full += 1,
+                Err(Rejected::QueueFull { .. }) => {
+                    if closed_loop && *tries < RESUBMIT_CAP {
+                        a.deferred += 1;
+                        carry.push((*req, tries + 1));
+                    } else {
+                        a.rej_queue_full += 1;
+                        if closed_loop {
+                            a.dropped += 1;
+                        }
+                    }
+                }
                 Err(Rejected::DeadlineExceeded { attempts, .. }) => {
                     a.rej_deadline += 1;
                     a.retries += attempts.saturating_sub(1) as u64;
@@ -248,15 +302,36 @@ pub fn run(opts: &Opts) {
         })
         .collect();
 
+    Replay {
+        acc,
+        audited,
+        lost_acked,
+        quarantined_at,
+        nreqs,
+    }
+}
+
+pub fn run(opts: &Opts) {
+    let batch = 256;
+    let serve_cfg = ServeConfig {
+        queue_depth: 32,
+        max_retries: 3,
+        backoff_base_ns: 500,
+        backoff_cap_ns: 16_000,
+        backoff_seed: 0x5E4E_5EED,
+        quarantine_spare_frac: 0.5,
+    };
+    let open = replay(opts, serve_cfg, batch, false);
+    let closed = replay(opts, serve_cfg, batch, true);
+
     let mut t = Table::new(
         &format!(
             "Chaos replay through the serving front-end ({} requests, batch {batch}, \
-             queue {}, {} front-end retries)",
-            reqs.len(),
-            serve_cfg.queue_depth,
-            serve_cfg.max_retries
+             queue {}, {} front-end retries, closed loop re-queues QueueFull up to {} times)",
+            open.nreqs, serve_cfg.queue_depth, serve_cfg.max_retries, RESUBMIT_CAP
         ),
         &[
+            "mode",
             "bank",
             "role",
             "submitted",
@@ -268,6 +343,8 @@ pub fn run(opts: &Opts) {
             "rej_quarantine",
             "rej_retry",
             "rej_fault",
+            "deferred",
+            "dropped",
             "rej_rate",
             "p50_ns",
             "p99_ns",
@@ -282,88 +359,116 @@ pub fn run(opts: &Opts) {
         DYING_BANK => "dying",
         _ => "healthy",
     };
-    let mut total = BankAcc::default();
-    for (b, a) in acc.iter().enumerate() {
-        let mut lat = a.latencies.clone();
-        lat.sort_unstable();
+    let mut totals: Vec<BankAcc> = Vec::new();
+    for (mode, r) in [("open", &open), ("closed", &closed)] {
+        let mut total = BankAcc::default();
+        for (b, a) in r.acc.iter().enumerate() {
+            let mut lat = a.latencies.clone();
+            lat.sort_unstable();
+            t.row(vec![
+                mode.to_string(),
+                b.to_string(),
+                role(b).to_string(),
+                a.submitted.to_string(),
+                a.served_reads.to_string(),
+                a.served_writes.to_string(),
+                a.retries.to_string(),
+                a.rej_queue_full.to_string(),
+                a.rej_deadline.to_string(),
+                a.rej_quarantine.to_string(),
+                a.rej_retries.to_string(),
+                a.rej_fault.to_string(),
+                a.deferred.to_string(),
+                a.dropped.to_string(),
+                format!("{:.4}", a.rejected() as f64 / a.submitted.max(1) as f64),
+                percentile_ns(&lat, 50.0).to_string(),
+                percentile_ns(&lat, 99.0).to_string(),
+                percentile_ns(&lat, 99.9).to_string(),
+                r.quarantined_at[b].map_or_else(|| "-".to_string(), |ns| ns.to_string()),
+                "-".to_string(),
+            ]);
+            total.submitted += a.submitted;
+            total.served_reads += a.served_reads;
+            total.served_writes += a.served_writes;
+            total.retries += a.retries;
+            total.rej_queue_full += a.rej_queue_full;
+            total.rej_deadline += a.rej_deadline;
+            total.rej_quarantine += a.rej_quarantine;
+            total.rej_retries += a.rej_retries;
+            total.rej_fault += a.rej_fault;
+            total.deferred += a.deferred;
+            total.dropped += a.dropped;
+            total.latencies.extend(&a.latencies);
+        }
+        total.latencies.sort_unstable();
         t.row(vec![
-            b.to_string(),
-            role(b).to_string(),
-            a.submitted.to_string(),
-            a.served_reads.to_string(),
-            a.served_writes.to_string(),
-            a.retries.to_string(),
-            a.rej_queue_full.to_string(),
-            a.rej_deadline.to_string(),
-            a.rej_quarantine.to_string(),
-            a.rej_retries.to_string(),
-            a.rej_fault.to_string(),
-            format!("{:.4}", a.rejected() as f64 / a.submitted.max(1) as f64),
-            percentile_ns(&lat, 50.0).to_string(),
-            percentile_ns(&lat, 99.0).to_string(),
-            percentile_ns(&lat, 99.9).to_string(),
-            quarantined_at[b].map_or_else(|| "-".to_string(), |ns| ns.to_string()),
+            mode.to_string(),
+            "TOTAL".to_string(),
             "-".to_string(),
+            total.submitted.to_string(),
+            total.served_reads.to_string(),
+            total.served_writes.to_string(),
+            total.retries.to_string(),
+            total.rej_queue_full.to_string(),
+            total.rej_deadline.to_string(),
+            total.rej_quarantine.to_string(),
+            total.rej_retries.to_string(),
+            total.rej_fault.to_string(),
+            total.deferred.to_string(),
+            total.dropped.to_string(),
+            format!(
+                "{:.4}",
+                total.rejected() as f64 / total.submitted.max(1) as f64
+            ),
+            percentile_ns(&total.latencies, 50.0).to_string(),
+            percentile_ns(&total.latencies, 99.0).to_string(),
+            percentile_ns(&total.latencies, 99.9).to_string(),
+            "-".to_string(),
+            r.lost_acked.to_string(),
         ]);
-        total.submitted += a.submitted;
-        total.served_reads += a.served_reads;
-        total.served_writes += a.served_writes;
-        total.retries += a.retries;
-        total.rej_queue_full += a.rej_queue_full;
-        total.rej_deadline += a.rej_deadline;
-        total.rej_quarantine += a.rej_quarantine;
-        total.rej_retries += a.rej_retries;
-        total.rej_fault += a.rej_fault;
-        total.latencies.extend(&a.latencies);
+        totals.push(total);
     }
-    total.latencies.sort_unstable();
-    t.row(vec![
-        "TOTAL".to_string(),
-        "-".to_string(),
-        total.submitted.to_string(),
-        total.served_reads.to_string(),
-        total.served_writes.to_string(),
-        total.retries.to_string(),
-        total.rej_queue_full.to_string(),
-        total.rej_deadline.to_string(),
-        total.rej_quarantine.to_string(),
-        total.rej_retries.to_string(),
-        total.rej_fault.to_string(),
-        format!(
-            "{:.4}",
-            total.rejected() as f64 / total.submitted.max(1) as f64
-        ),
-        percentile_ns(&total.latencies, 50.0).to_string(),
-        percentile_ns(&total.latencies, 99.0).to_string(),
-        percentile_ns(&total.latencies, 99.9).to_string(),
-        "-".to_string(),
-        lost_acked.to_string(),
-    ]);
     t.print();
     t.write_csv(&opts.out_dir, "serve");
 
     println!(
-        "\naudited {audited} acknowledged last-writers; lost acknowledged writes: {lost_acked}"
-    );
-    println!(
-        "quarantine events: {:?}",
-        fe.quarantine_events()
-            .iter()
-            .map(|e| (e.bank, e.at_ns))
-            .collect::<Vec<_>>()
+        "\nopen loop: audited {} acknowledged last-writers, lost {}; \
+         closed loop: audited {}, lost {}, deferred {}, dropped {}",
+        open.audited,
+        open.lost_acked,
+        closed.audited,
+        closed.lost_acked,
+        totals[1].deferred,
+        totals[1].dropped
     );
 
     // The acceptance bars for this experiment: chaos must actually bite
     // (something rejected, something retried, the dying bank walled off),
-    // and no acknowledged write may be lost.
-    assert_eq!(lost_acked, 0, "acknowledged writes must survive chaos");
+    // no acknowledged write may be lost in either mode, and the closed
+    // loop must actually convert queue-full rejections into deferrals —
+    // ending with strictly fewer requests lost to full queues.
+    assert_eq!(open.lost_acked, 0, "acknowledged writes must survive chaos");
+    assert_eq!(
+        closed.lost_acked, 0,
+        "acknowledged writes must survive chaos (closed loop)"
+    );
     assert!(
-        total.rejected() > 0,
+        totals[0].rejected() > 0,
         "chaos schedule produced no rejections"
     );
-    assert!(total.retries > 0, "chaos schedule produced no retries");
+    assert!(totals[0].retries > 0, "chaos schedule produced no retries");
     assert!(
-        quarantined_at[DYING_BANK].is_some(),
+        open.quarantined_at[DYING_BANK].is_some(),
         "the dying bank never hit the quarantine threshold"
+    );
+    assert!(
+        totals[1].deferred > 0,
+        "closed loop never deferred anything"
+    );
+    assert!(
+        totals[1].rej_queue_full < totals[0].rej_queue_full,
+        "closed loop did not reduce queue-full losses ({} vs {})",
+        totals[1].rej_queue_full,
+        totals[0].rej_queue_full
     );
 }

@@ -75,3 +75,29 @@ fn serve_output_is_byte_identical_across_job_counts() {
     }
     std::fs::remove_dir_all(&base).ok();
 }
+
+/// The crash sweep both injects failures and *verifies recovery* inside
+/// each trial; its table and CSV must still be byte-identical for any
+/// worker count.
+#[test]
+fn crash_output_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!("srbsg-crash-determinism-{}", std::process::id()));
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        outputs.push((jobs, run_fig("crash", jobs, &dir)));
+    }
+    let (_, serial) = &outputs[0];
+    for (jobs, parallel) in &outputs[1..] {
+        assert_eq!(
+            serial.0, parallel.0,
+            "crash.csv differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "crash stdout differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

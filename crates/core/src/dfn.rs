@@ -26,6 +26,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use srbsg_feistel::{AddressPermutation, FeistelNetwork};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, MetadataState, PersistError};
 
 /// Where a logical line currently lives in the intermediate address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -282,6 +283,19 @@ impl DfnMapping {
         }
     }
 
+    /// Replace the key-generation RNG with one seeded from `seed`. Used by
+    /// the recovery path to re-randomize future rounds after a power cycle.
+    pub(crate) fn reseed_rng(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Whether a remapping round is in flight (some lines translated under
+    /// `Kc`, others still under `Kp`). At a round boundary the mapping is a
+    /// single pure permutation and one fresh round suffices to retire it.
+    pub(crate) fn mid_round(&self) -> bool {
+        self.phase != Phase::RoundBoundary
+    }
+
     /// Park cycle head `u`: move its data into the spare, vacating its slot.
     fn park(&mut self, u: u64) -> DfnMove {
         let src = self.enc_p.encrypt(u);
@@ -293,6 +307,118 @@ impl DfnMapping {
             src: IaSlot::Line(src),
             dst: IaSlot::Spare,
         }
+    }
+}
+
+impl MetadataState for DfnMapping {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::DFN);
+        enc.u32(self.width);
+        enc.u32(self.stages as u32);
+        self.enc_c.encode_state(enc);
+        self.enc_p.encode_state(enc);
+        enc.u8(match self.phase {
+            Phase::RoundBoundary => 0,
+            Phase::SpareFree => 1,
+            Phase::Chasing => 2,
+        });
+        enc.u64(self.gap);
+        match self.parked {
+            Some(la) => {
+                enc.u8(1);
+                enc.u64(la);
+            }
+            None => {
+                enc.u8(0);
+                enc.u64(0);
+            }
+        }
+        for &w in &self.is_remapped {
+            enc.u64(w);
+        }
+        enc.u64(self.scan_cursor);
+        enc.u64(self.pending_head);
+        enc.u64(self.rounds_completed);
+        enc.u64(self.movements_this_round);
+        self.rng.encode_state(enc);
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::DFN)?;
+        let width = dec.u32()?;
+        if !(2..=40).contains(&width) {
+            return Err(PersistError::Corrupt("dfn width out of range"));
+        }
+        let lines = 1u64 << width;
+        let stages = dec.u32()? as usize;
+        if stages < 1 {
+            return Err(PersistError::Corrupt("dfn stage count out of range"));
+        }
+        let enc_c = FeistelNetwork::decode_state(dec)?;
+        let enc_p = FeistelNetwork::decode_state(dec)?;
+        if enc_c.width() != width || enc_p.width() != width {
+            return Err(PersistError::Corrupt("dfn key width mismatch"));
+        }
+        let phase = match dec.u8()? {
+            0 => Phase::RoundBoundary,
+            1 => Phase::SpareFree,
+            2 => Phase::Chasing,
+            _ => return Err(PersistError::Corrupt("dfn phase tag out of range")),
+        };
+        let gap = dec.u64()?;
+        let parked = match dec.u8()? {
+            0 => {
+                dec.u64()?;
+                None
+            }
+            1 => Some(dec.u64()?),
+            _ => return Err(PersistError::Corrupt("dfn parked flag out of range")),
+        };
+        if gap >= lines || parked.is_some_and(|la| la >= lines) {
+            return Err(PersistError::Corrupt("dfn registers out of range"));
+        }
+        // Cross-field invariants the stepping logic relies on: the spare is
+        // occupied exactly while chasing a cycle.
+        if (phase == Phase::Chasing) != parked.is_some() {
+            return Err(PersistError::Corrupt("dfn phase/parked mismatch"));
+        }
+        let words = lines.div_ceil(64) as usize;
+        let mut is_remapped = Vec::with_capacity(words);
+        for _ in 0..words {
+            is_remapped.push(dec.u64()?);
+        }
+        if !lines.is_multiple_of(64) {
+            let tail_mask = !0u64 << (lines % 64);
+            if is_remapped.last().is_some_and(|w| w & tail_mask != 0) {
+                return Err(PersistError::Corrupt("dfn remap bitset has stray bits"));
+            }
+        }
+        let remapped_count = is_remapped.iter().map(|w| w.count_ones() as u64).sum();
+        let scan_cursor = dec.u64()?;
+        let pending_head = dec.u64()?;
+        if scan_cursor > lines || pending_head >= lines {
+            return Err(PersistError::Corrupt("dfn scan registers out of range"));
+        }
+        let rounds_completed = dec.u64()?;
+        let movements_this_round = dec.u64()?;
+        let rng = SmallRng::decode_state(dec)?;
+        Ok(Self {
+            lines,
+            width,
+            stages,
+            enc_c,
+            enc_p,
+            phase,
+            gap,
+            parked,
+            is_remapped,
+            remapped_count,
+            scan_cursor,
+            pending_head,
+            rounds_completed,
+            movements_this_round,
+            rng,
+        })
     }
 }
 

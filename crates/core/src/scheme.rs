@@ -1,6 +1,7 @@
 //! The Security RBSG wear-leveling scheme (paper §IV).
 
-use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+use srbsg_pcm::{ApplySink, LineAddr, Ns, PcmBank, PhysOp, StepSink, WearLeveler};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, JournaledScheme, MetadataState, PersistError};
 use srbsg_wearlevel::GapMapping;
 
 use crate::dfn::{DfnMapping, DfnMove, IaSlot};
@@ -153,10 +154,50 @@ impl SecurityRbsg {
         }
     }
 
-    /// Execute one outer DFN movement against the bank.
-    fn outer_movement(&mut self, bank: &mut PcmBank) -> Ns {
+    /// The metadata transition of one outer DFN movement plus the physical
+    /// copy it implies (journal payload 0). Shared by the live path, journal
+    /// replay, and recovery rekeying so they can never diverge.
+    fn outer_step(&mut self) -> Vec<PhysOp> {
         let DfnMove { src, dst } = self.dfn.advance();
-        bank.move_line(self.resolve(src), self.resolve(dst))
+        vec![PhysOp::Move {
+            src: self.resolve(src),
+            dst: self.resolve(dst),
+        }]
+    }
+
+    /// One inner Start-Gap movement in sub-region `r` (journal payload
+    /// `1 + r`).
+    fn inner_step(&mut self, r: usize) -> Vec<PhysOp> {
+        let base = self.region_base(r as u64);
+        let mv = self.inner[r].advance();
+        vec![PhysOp::Move {
+            src: base + mv.src,
+            dst: base + mv.dst,
+        }]
+    }
+
+    fn step_if_due(&mut self, la: LineAddr, bank: &mut PcmBank, sink: &mut dyn StepSink) -> Ns {
+        let mut latency = 0;
+        // Outer level: one DFN movement per ψ_out demand writes.
+        self.outer_counter += 1;
+        if self.outer_counter >= self.outer_interval {
+            self.outer_counter = 0;
+            let ops = self.outer_step();
+            latency += sink.commit(bank, &0u32.to_le_bytes(), &ops);
+        }
+        // Inner level: count the write against the sub-region its IA lands
+        // in (post-outer-movement). Writes to the parked line live in the
+        // spare and bypass the inner level.
+        if let IaSlot::Line(ia) = self.dfn.translate(la) {
+            let r = (ia / self.region_lines) as usize;
+            self.inner_counters[r] += 1;
+            if self.inner_counters[r] >= self.inner_interval {
+                self.inner_counters[r] = 0;
+                let ops = self.inner_step(r);
+                latency += sink.commit(bank, &(1 + r as u32).to_le_bytes(), &ops);
+            }
+        }
+        latency
     }
 }
 
@@ -177,27 +218,7 @@ impl WearLeveler for SecurityRbsg {
     }
 
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
-        let mut latency = 0;
-        // Outer level: one DFN movement per ψ_out demand writes.
-        self.outer_counter += 1;
-        if self.outer_counter >= self.outer_interval {
-            self.outer_counter = 0;
-            latency += self.outer_movement(bank);
-        }
-        // Inner level: count the write against the sub-region its IA lands
-        // in (post-outer-movement). Writes to the parked line live in the
-        // spare and bypass the inner level.
-        if let IaSlot::Line(ia) = self.dfn.translate(la) {
-            let r = (ia / self.region_lines) as usize;
-            self.inner_counters[r] += 1;
-            if self.inner_counters[r] >= self.inner_interval {
-                self.inner_counters[r] = 0;
-                let base = self.region_base(r as u64);
-                let mv = self.inner[r].advance();
-                latency += bank.move_line(base + mv.src, base + mv.dst);
-            }
-        }
-        latency
+        self.step_if_due(la, bank, &mut ApplySink)
     }
 
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
@@ -232,6 +253,120 @@ impl WearLeveler for SecurityRbsg {
 
     fn name(&self) -> &'static str {
         "security-rbsg"
+    }
+}
+
+impl MetadataState for SecurityRbsg {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::SECURITY_RBSG);
+        self.dfn.encode_state(enc);
+        enc.u64(self.outer_interval);
+        enc.u64(self.outer_counter);
+        enc.u64(self.inner_interval);
+        enc.u32(self.inner.len() as u32);
+        for region in &self.inner {
+            region.encode_state(enc);
+        }
+        for &c in &self.inner_counters {
+            enc.u64(c);
+        }
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::SECURITY_RBSG)?;
+        let dfn = DfnMapping::decode_state(dec)?;
+        let lines = dfn.lines();
+        let outer_interval = dec.u64()?;
+        let outer_counter = dec.u64()?;
+        let inner_interval = dec.u64()?;
+        if outer_interval < 1 || inner_interval < 1 || outer_counter >= outer_interval {
+            return Err(PersistError::Corrupt(
+                "security-rbsg intervals out of range",
+            ));
+        }
+        let sub_regions = dec.u32()? as u64;
+        if sub_regions < 1 || !lines.is_multiple_of(sub_regions) {
+            return Err(PersistError::Corrupt("security-rbsg geometry out of range"));
+        }
+        let region_lines = lines / sub_regions;
+        let mut inner = Vec::with_capacity(sub_regions as usize);
+        for _ in 0..sub_regions {
+            let region = GapMapping::decode_state(dec)?;
+            if region.lines() != region_lines {
+                return Err(PersistError::Corrupt("security-rbsg region size mismatch"));
+            }
+            inner.push(region);
+        }
+        let mut inner_counters = Vec::with_capacity(sub_regions as usize);
+        for _ in 0..sub_regions {
+            let c = dec.u64()?;
+            if c >= inner_interval {
+                return Err(PersistError::Corrupt("security-rbsg counter out of range"));
+            }
+            inner_counters.push(c);
+        }
+        Ok(Self {
+            dfn,
+            outer_counter,
+            outer_interval,
+            inner,
+            inner_counters,
+            inner_interval,
+            lines,
+            region_lines,
+        })
+    }
+}
+
+impl JournaledScheme for SecurityRbsg {
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        self.step_if_due(la, bank, sink)
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        let raw: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| PersistError::Corrupt("security-rbsg step payload size"))?;
+        match u32::from_le_bytes(raw) {
+            0 => {
+                self.outer_counter = 0;
+                Ok(self.outer_step())
+            }
+            k => {
+                let r = (k - 1) as usize;
+                if r >= self.inner.len() {
+                    return Err(PersistError::Corrupt("security-rbsg step region"));
+                }
+                self.inner_counters[r] = 0;
+                Ok(self.inner_step(r))
+            }
+        }
+    }
+
+    fn reseed_rng(&mut self, seed: u64) {
+        self.dfn.reseed_rng(seed);
+    }
+
+    /// Burst outer DFN movements until key material drawn from the reseeded
+    /// RNG fully determines the mapping: one full round when the crash hit a
+    /// round boundary, two when it hit mid-round (the in-flight round still
+    /// finishes under the pre-crash `Kc`, which the attacker may have been
+    /// probing).
+    fn rekey(&mut self, bank: &mut PcmBank, sink: &mut dyn StepSink) -> u64 {
+        let start = self.dfn.rounds_completed();
+        let target = start + if self.dfn.mid_round() { 2 } else { 1 };
+        let mut moves = 0;
+        while self.dfn.rounds_completed() < target {
+            let ops = self.outer_step();
+            sink.commit(bank, &0u32.to_le_bytes(), &ops);
+            moves += 1;
+        }
+        moves
     }
 }
 

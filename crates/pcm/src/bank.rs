@@ -75,6 +75,26 @@ impl PcmBank {
         bank
     }
 
+    /// Provision `extra` additional spare lines (field replenishment of the
+    /// spare pool). No-op semantics on an ideal bank are not offered: the
+    /// bank must have been built with [`PcmBank::with_faults`]. New spares
+    /// extend the hidden region behind the previously provisioned ones, so
+    /// existing retirement redirects keep pointing at their slots.
+    ///
+    /// Replenishment relieves *spare pressure* (see
+    /// [`crate::DegradationReport::spare_pressure`]) but does not resurrect
+    /// a bank that already died of capacity exhaustion.
+    pub fn provision_spares(&mut self, extra: u64) {
+        let f = self
+            .faults
+            .as_mut()
+            .expect("provision_spares requires a fault-injected bank");
+        f.add_spares(extra);
+        let total = self.wear.len() + extra as usize;
+        self.wear.resize(total, 0);
+        self.data.resize(total, LineData::Zeros);
+    }
+
     /// The fault configuration, if this bank injects faults.
     pub fn fault_config(&self) -> Option<&FaultConfig> {
         self.faults.as_ref().map(|f| f.cfg())

@@ -59,9 +59,44 @@ impl<W: WearLeveler> MemoryController<W> {
         }
     }
 
+    /// Rebuild a controller around a bank that survived a power cycle.
+    ///
+    /// Unlike [`MemoryController::new`], this does *not* allocate or
+    /// initialize the bank — line contents, wear, fault state, and the SRAM
+    /// slot marking are all non-volatile and carry over. The simulated
+    /// clock and demand-write counter restart at zero (they model the
+    /// current power session, not device lifetime).
+    pub fn from_bank(wl: W, bank: PcmBank) -> Self {
+        assert_eq!(
+            bank.slots(),
+            wl.physical_slots(),
+            "recovered scheme does not fit the surviving bank"
+        );
+        Self {
+            bank,
+            wl,
+            now: 0,
+            demand_writes: 0,
+        }
+    }
+
+    /// Tear the controller apart into scheme and bank — the first step of a
+    /// simulated power cycle: the caller persists/recovers the scheme
+    /// metadata and keeps the (non-volatile) bank for
+    /// [`MemoryController::from_bank`].
+    pub fn into_parts(self) -> (W, PcmBank) {
+        (self.wl, self.bank)
+    }
+
     /// How far the device has degraded (see [`DegradationReport`]).
     pub fn degradation_report(&self) -> DegradationReport {
         self.bank.degradation_report()
+    }
+
+    /// Add `extra` fresh spare lines to the bank's pool (field
+    /// replenishment; see [`PcmBank::provision_spares`]).
+    pub fn provision_spares(&mut self, extra: u64) {
+        self.bank.provision_spares(extra);
     }
 
     /// Fault and retry counters (all zero on an ideal bank).
@@ -185,6 +220,37 @@ impl<W: WearLeveler> MemoryController<W> {
         } else {
             Ok(resp)
         }
+    }
+
+    /// Service one demand write whose pre-write bookkeeping is supplied by
+    /// `hook` instead of [`WearLeveler::before_write`].
+    ///
+    /// The hook receives the scheme and the bank and returns the remap
+    /// latency to charge — or an error, in which case the demand write is
+    /// **aborted**: no line is written, the clock does not advance, and the
+    /// demand-write count is untouched. Movements the hook already applied
+    /// to the bank stand (a crash mid-remap leaves exactly the device state
+    /// it crashed with). This is the entry point `srbsg-persist` uses to
+    /// route remap steps through a write-ahead journal with power-failure
+    /// injection: a [`PcmError::PowerLost`] from the hook models the machine
+    /// dying before the request could be acknowledged.
+    pub fn try_write_with(
+        &mut self,
+        la: LineAddr,
+        data: LineData,
+        hook: impl FnOnce(&mut W, &mut PcmBank) -> Result<Ns, PcmError>,
+    ) -> Result<WriteResponse, PcmError> {
+        self.check_la(la)?;
+        let mut latency = self.bank.timing().translation_ns as Ns;
+        latency += hook(&mut self.wl, &mut self.bank)?;
+        let slot = self.wl.translate(la);
+        latency += self.bank.write_line(slot, data);
+        self.demand_writes += 1;
+        self.now += latency;
+        Ok(WriteResponse {
+            latency_ns: latency,
+            failed: self.bank.failed(),
+        })
     }
 
     /// Service one demand read, validating the address.
@@ -509,6 +575,28 @@ mod tests {
                 .expect("ideal bank");
             assert!(r.latency_ns >= 1000);
         }
+    }
+
+    #[test]
+    fn try_write_with_matches_plain_write_and_aborts_on_error() {
+        let mut a = MemoryController::new(ToyGap::new(4, 3), 1_000_000, TimingModel::PAPER);
+        let mut b = MemoryController::new(ToyGap::new(4, 3), 1_000_000, TimingModel::PAPER);
+        for i in 0..10u64 {
+            let ra = a.write(i % 4, LineData::Ones);
+            let rb = b
+                .try_write_with(i % 4, LineData::Ones, |wl, bank| {
+                    Ok(wl.before_write(i % 4, bank))
+                })
+                .unwrap();
+            assert_eq!(ra, rb, "write {i}");
+        }
+        assert_eq!(a.now_ns(), b.now_ns());
+        assert_eq!(a.bank().wear(), b.bank().wear());
+        // A hook error aborts the demand write entirely.
+        let before = (b.now_ns(), b.demand_writes());
+        let err = b.try_write_with(0, LineData::Ones, |_, _| Err(PcmError::PowerLost));
+        assert!(matches!(err, Err(PcmError::PowerLost)));
+        assert_eq!((b.now_ns(), b.demand_writes()), before);
     }
 
     #[test]

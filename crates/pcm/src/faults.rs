@@ -73,13 +73,20 @@ pub enum PcmError {
         /// Device-level retry pulses that were issued before giving up.
         attempts: u32,
     },
+    /// Power was lost before the request could be serviced (simulated crash
+    /// injection, see `srbsg-persist`). The request was *not* acknowledged
+    /// and must be re-issued after recovery.
+    PowerLost,
 }
 
 impl PcmError {
     /// Whether the error is transient: retrying the same request may
     /// succeed. Address errors are permanent; verify failures are not.
     pub fn is_transient(&self) -> bool {
-        matches!(self, PcmError::WriteNotVerified { .. })
+        matches!(
+            self,
+            PcmError::WriteNotVerified { .. } | PcmError::PowerLost
+        )
     }
 }
 
@@ -98,6 +105,7 @@ impl fmt::Display for PcmError {
                     "write to logical address {la} failed verification after {attempts} device retries"
                 )
             }
+            PcmError::PowerLost => write!(f, "power lost before the request was serviced"),
         }
     }
 }
@@ -452,6 +460,16 @@ impl FaultState {
             self.first_correctable = Some(FailureInfo { slot, at_write });
         }
         true
+    }
+
+    /// Grow the spare pool by `n` lines (field replenishment). The new
+    /// spares sit after every previously provisioned spare slot, so existing
+    /// redirects are untouched. Replenishment does not resurrect a bank that
+    /// already died of capacity exhaustion: the lines that overran the empty
+    /// pool are gone.
+    pub(crate) fn add_spares(&mut self, n: u64) {
+        self.cfg.spare_lines += n;
+        self.stats.spares_total += n;
     }
 
     /// Retire `slot`: allocate a spare and install the redirect. Returns the

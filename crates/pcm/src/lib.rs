@@ -75,6 +75,62 @@ impl LineData {
     }
 }
 
+/// One physical movement a wear-leveling step performs on the bank.
+///
+/// Schemes that support journaled persistence (`srbsg-persist`) describe
+/// their remap movements as values of this type so a write-ahead journal can
+/// record them — together with before-images — before they touch the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysOp {
+    /// Copy the line at `src` into `dst` (Start-Gap style gap movement;
+    /// `src` keeps its stale contents and becomes the new gap).
+    Move {
+        /// Source physical slot.
+        src: LineAddr,
+        /// Destination physical slot (the current gap).
+        dst: LineAddr,
+    },
+    /// Exchange the lines at `a` and `b` (Security Refresh style swap).
+    Swap {
+        /// First physical slot.
+        a: LineAddr,
+        /// Second physical slot.
+        b: LineAddr,
+    },
+}
+
+/// Where a journaled wear-leveling step sends its physical operations.
+///
+/// A scheme's logged step path computes its metadata transition, then hands
+/// the resulting [`PhysOp`]s — plus an opaque `payload` identifying *which*
+/// step fired, for deterministic replay — to a sink. The default
+/// [`ApplySink`] applies them to the bank directly, making the logged path
+/// byte-identical to the plain `before_write`; a journaling sink (in
+/// `srbsg-persist`) records them durably first and may also inject a
+/// simulated power failure at any point of the record/apply/commit protocol.
+pub trait StepSink {
+    /// Persist (if applicable) and apply one step's operations, returning
+    /// the device latency charged to the triggering demand write.
+    fn commit(&mut self, bank: &mut PcmBank, payload: &[u8], ops: &[PhysOp]) -> Ns;
+}
+
+/// The trivial sink: apply every operation to the bank, journal nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ApplySink;
+
+impl StepSink for ApplySink {
+    fn commit(&mut self, bank: &mut PcmBank, _payload: &[u8], ops: &[PhysOp]) -> Ns {
+        let mut lat = 0;
+        for op in ops {
+            lat += match *op {
+                PhysOp::Move { src, dst } => bank.move_line(src, dst),
+                PhysOp::Swap { a, b } => bank.swap_lines(a, b),
+            };
+        }
+        lat
+    }
+}
+
 /// The wear-leveling interface the memory controller drives.
 ///
 /// A scheme owns its mapping state (registers, keys, counters) and mutates

@@ -135,6 +135,13 @@ impl<W: WearLeveler> MultiBankSystem<W> {
         Self { banks }
     }
 
+    /// Decompose into per-bank controllers — the first step of a simulated
+    /// whole-system power cycle (recover each bank's metadata, then rebuild
+    /// with [`MultiBankSystem::from_controllers`]).
+    pub fn into_controllers(self) -> Vec<MemoryController<W>> {
+        self.banks
+    }
+
     /// Number of banks.
     pub fn bank_count(&self) -> usize {
         self.banks.len()

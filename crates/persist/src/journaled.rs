@@ -1,0 +1,301 @@
+//! The [`Journaled`] wear-leveler wrapper and the recovery path.
+//!
+//! `Journaled<W>` couples any [`JournaledScheme`] with a [`Persistor`] so
+//! that every wear-leveling step runs the record → apply → commit protocol.
+//! After a power failure, [`Journaled::recover`] rebuilds the wrapper from
+//! the surviving [`Store`] and bank:
+//!
+//! 1. decode the snapshot (checksummed — corruption is rejected, never
+//!    acted on),
+//! 2. parse the journal, truncating a torn tail,
+//! 3. replay every record *onto the metadata only*, verifying the dense
+//!    sequence chain and that each replayed step reproduces the recorded
+//!    physical operations,
+//! 4. if the final record is a `Step` with no `Commit` marker, redo its
+//!    operations on the bank from the recorded before-images (idempotent)
+//!    and append the missing marker.
+//!
+//! [`Journaled::recover_rekeyed`] additionally re-randomizes the scheme's
+//! key material (journaled as a `Reseed` record so the journal stays
+//! replayable) and drives enough remap work for the fresh keys to take
+//! effect — so an attacker cannot freeze the mapping by cycling power.
+
+use crate::codec::PersistError;
+use crate::journal::{parse_journal, Record};
+use crate::persistor::{CrashPlan, Persistor, Store};
+use crate::state::{decode_snapshot, encode_snapshot, MetadataState};
+use srbsg_pcm::{
+    LineAddr, LineData, MemoryController, Ns, PcmBank, PcmError, PhysOp, StepSink, WearLeveler,
+    WriteResponse,
+};
+
+/// A wear-leveling scheme whose metadata can be journaled and replayed.
+///
+/// Implementors route their step logic through a [`StepSink`] and expose a
+/// deterministic replay: `replay_step(payload)` must re-execute exactly the
+/// metadata transition that produced the recorded step — including any RNG
+/// draws — and return the same physical operations. Recovery verifies the
+/// returned operations against the journal, so divergence is detected, not
+/// silently absorbed.
+pub trait JournaledScheme: WearLeveler + MetadataState {
+    /// Like [`WearLeveler::before_write`], but any step that fires is
+    /// committed through `sink` instead of applied directly.
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns;
+
+    /// Re-execute the metadata transition identified by a recorded step
+    /// `payload`, returning the physical operations it implies.
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError>;
+
+    /// Reseed the scheme's remap RNG (recovery re-randomization). Schemes
+    /// without an RNG ignore this.
+    fn reseed_rng(&mut self, _seed: u64) {}
+
+    /// Drive remap work through `sink` until freshly drawn key material
+    /// fully determines the mapping, returning the number of movements
+    /// performed. Schemes whose mapping holds no secret key return 0.
+    fn rekey(&mut self, _bank: &mut PcmBank, _sink: &mut dyn StepSink) -> u64 {
+        0
+    }
+}
+
+/// What recovery found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `Step` records replayed onto the metadata.
+    pub replayed_steps: u64,
+    /// Torn bytes truncated from the journal tail.
+    pub torn_bytes: u64,
+    /// Physical operations redone from before-images (non-zero only when
+    /// the final record was an uncommitted `Step`).
+    pub redone_ops: u64,
+    /// Whether the scheme's RNG was reseeded ([`Journaled::recover_rekeyed`]).
+    pub reseeded: bool,
+    /// Remap movements performed to put fresh keys in effect.
+    pub rekey_movements: u64,
+}
+
+/// A wear-leveler whose metadata survives power failure. See module docs.
+#[derive(Debug)]
+pub struct Journaled<W: JournaledScheme> {
+    scheme: W,
+    persistor: Persistor,
+}
+
+impl<W: JournaledScheme> Journaled<W> {
+    /// Wrap `scheme`, taking an initial snapshot at sequence 0.
+    pub fn new(scheme: W) -> Self {
+        let snapshot = encode_snapshot(&scheme, 0);
+        Self {
+            scheme,
+            persistor: Persistor::new(
+                Store {
+                    snapshot,
+                    journal: Vec::new(),
+                },
+                0,
+            ),
+        }
+    }
+
+    /// The wrapped scheme.
+    pub fn scheme(&self) -> &W {
+        &self.scheme
+    }
+
+    /// The durable store as it stands.
+    pub fn store(&self) -> &Store {
+        self.persistor.store()
+    }
+
+    /// Consume the wrapper, keeping only what survives power loss.
+    pub fn into_store(self) -> Store {
+        self.persistor.into_store()
+    }
+
+    /// Arm a deterministic crash plan. Writes must then go through
+    /// [`write_crashable`] so the crash can abort the in-flight request.
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        self.persistor.set_plan(plan);
+    }
+
+    /// Whether an injected or explicit power cut has fired.
+    pub fn crashed(&self) -> bool {
+        !self.persistor.powered()
+    }
+
+    /// Number of journaled steps so far (for probing crash points).
+    pub fn steps_logged(&self) -> u64 {
+        self.persistor.steps_logged()
+    }
+
+    /// Cleanly cut the power between requests (orderly restart).
+    pub fn power_cut(&mut self) {
+        self.persistor.power_cut();
+    }
+
+    /// Compact the store: take a fresh snapshot at the current sequence
+    /// number and clear the journal.
+    pub fn checkpoint(&mut self) {
+        let snapshot = encode_snapshot(&self.scheme, self.persistor.next_seq());
+        self.persistor.install_checkpoint(snapshot);
+    }
+
+    /// Rebuild from a surviving store and bank. See the module docs for the
+    /// four recovery stages.
+    pub fn recover(
+        store: &Store,
+        bank: &mut PcmBank,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_inner(store, bank, None)
+    }
+
+    /// Like [`Journaled::recover`], but additionally reseed the scheme's
+    /// RNG from `seed` and drive remap work until fresh keys fully
+    /// determine the mapping (paper-motivated: without this, an attacker
+    /// could freeze the mapping by cycling power).
+    pub fn recover_rekeyed(
+        store: &Store,
+        bank: &mut PcmBank,
+        seed: u64,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_inner(store, bank, Some(seed))
+    }
+
+    fn recover_inner(
+        store: &Store,
+        bank: &mut PcmBank,
+        rekey_seed: Option<u64>,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        let (mut scheme, snap_seq) = decode_snapshot::<W>(&store.snapshot)?;
+        let parsed = parse_journal(&store.journal)?;
+        let mut clean_journal = store.journal[..parsed.clean_len(&store.journal)].to_vec();
+
+        let mut report = RecoveryReport {
+            torn_bytes: parsed.torn_bytes as u64,
+            ..RecoveryReport::default()
+        };
+
+        let mut expected_seq = snap_seq;
+        let mut uncommitted: Option<&Record> = None;
+        for rec in &parsed.records {
+            if rec.seq() != expected_seq {
+                return Err(PersistError::Corrupt("journal sequence gap"));
+            }
+            expected_seq += 1;
+            match rec {
+                Record::Step { payload, ops, .. } => {
+                    let replayed = scheme.replay_step(payload)?;
+                    let recorded: Vec<PhysOp> = ops.iter().map(|op| op.phys()).collect();
+                    if replayed != recorded {
+                        return Err(PersistError::Corrupt("replay diverged from journal"));
+                    }
+                    report.replayed_steps += 1;
+                    uncommitted = Some(rec);
+                }
+                Record::Commit { .. } => uncommitted = None,
+                Record::Reseed { seed, .. } => {
+                    scheme.reseed_rng(*seed);
+                    uncommitted = None;
+                }
+            }
+        }
+
+        if let Some(Record::Step { ops, .. }) = uncommitted {
+            // The final step was recorded but its commit marker never made
+            // it: blindly redo from before-images (idempotent whether the
+            // application was skipped, half-done, or complete) and close
+            // the record.
+            for op in ops {
+                op.redo(bank);
+                report.redone_ops += 1;
+            }
+            let marker = Record::Commit { seq: expected_seq };
+            expected_seq += 1;
+            clean_journal.extend_from_slice(&crate::journal::encode_record(&marker));
+        }
+
+        let mut persistor = Persistor::new(
+            Store {
+                snapshot: store.snapshot.clone(),
+                journal: clean_journal,
+            },
+            expected_seq,
+        );
+
+        if let Some(seed) = rekey_seed {
+            persistor.append_reseed(seed);
+            scheme.reseed_rng(seed);
+            report.reseeded = true;
+            report.rekey_movements = scheme.rekey(bank, &mut persistor);
+        }
+
+        Ok((Self { scheme, persistor }, report))
+    }
+}
+
+impl<W: JournaledScheme> WearLeveler for Journaled<W> {
+    fn init_bank(&self, bank: &mut PcmBank) {
+        self.scheme.init_bank(bank)
+    }
+    fn translate(&self, la: LineAddr) -> LineAddr {
+        self.scheme.translate(la)
+    }
+    fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
+        // Crash-armed runs must go through `write_crashable`, which aborts
+        // the demand write when the plan fires; the plain path is for
+        // crash-free operation (journaling only).
+        debug_assert!(
+            self.persistor.powered(),
+            "before_write on a crashed Journaled wrapper"
+        );
+        self.scheme
+            .before_write_logged(la, bank, &mut self.persistor)
+    }
+    fn writes_until_remap(&self, la: LineAddr) -> u64 {
+        self.scheme.writes_until_remap(la)
+    }
+    fn note_quiet_writes(&mut self, la: LineAddr, k: u64) {
+        // Quiet writes by contract trigger no remap step, so they touch
+        // only volatile counters — nothing to journal.
+        self.scheme.note_quiet_writes(la, k)
+    }
+    fn logical_lines(&self) -> u64 {
+        self.scheme.logical_lines()
+    }
+    fn physical_slots(&self) -> u64 {
+        self.scheme.physical_slots()
+    }
+    fn name(&self) -> &'static str {
+        self.scheme.name()
+    }
+}
+
+/// Issue one demand write against a journaled controller under a crash
+/// schedule.
+///
+/// Returns [`PcmError::PowerLost`] — with the request *not* acknowledged
+/// and the clock untouched — when the armed [`CrashPlan`] fires during this
+/// write, whether at a quiet point before the scheme runs or inside a remap
+/// step. Movements the step already made stand: the bank is left in exactly
+/// the state the power failure produced.
+pub fn write_crashable<W: JournaledScheme>(
+    mc: &mut MemoryController<Journaled<W>>,
+    la: LineAddr,
+    data: LineData,
+) -> Result<WriteResponse, PcmError> {
+    mc.try_write_with(la, data, |jw, bank| {
+        if jw.persistor.poll_pre_write() {
+            return Err(PcmError::PowerLost);
+        }
+        let latency = jw.scheme.before_write_logged(la, bank, &mut jw.persistor);
+        if !jw.persistor.powered() {
+            return Err(PcmError::PowerLost);
+        }
+        Ok(latency)
+    })
+}

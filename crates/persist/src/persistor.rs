@@ -1,0 +1,262 @@
+//! The journaling [`StepSink`] and deterministic power-failure injection.
+//!
+//! A [`Persistor`] owns the simulated non-volatile [`Store`] (snapshot +
+//! journal) and implements the record → apply → commit protocol for every
+//! wear-leveling step:
+//!
+//! 1. capture before-images for the step's physical operations,
+//! 2. append a `Step` record (payload + ops) to the journal,
+//! 3. apply the operations to the bank in place,
+//! 4. append a `Commit` marker.
+//!
+//! A [`CrashPlan`] kills the power at a chosen point of that protocol for a
+//! chosen step — mid-append (torn record), between append and apply, halfway
+//! through the apply, after the apply but before the marker, or a configured
+//! number of demand writes after a successful commit. After the crash the
+//! persistor reports `powered() == false` and refuses further steps; the
+//! `Store` holds exactly the bytes and the bank exactly the lines that
+//! survived.
+
+use crate::journal::{encode_record, LoggedOp, Record};
+use srbsg_pcm::{ApplySink, Ns, PcmBank, PhysOp, StepSink};
+
+/// Where in the step protocol the injected power failure strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The `Step` append itself is cut short: the journal gains a torn,
+    /// checksum-failing prefix of the record and nothing was applied.
+    TornRecord,
+    /// The `Step` record is durable but none of its operations reached the
+    /// device.
+    RecordedNotApplied,
+    /// The `Step` record is durable and the *first write of the first
+    /// operation* completed — for a swap this leaves the device in a state
+    /// neither before nor after the step. (Writes are line-granular in this
+    /// model, so a `Move`'s single write cannot itself be split; for a step
+    /// whose first op is a move this degenerates to the record-not-applied
+    /// case.)
+    HalfApplied,
+    /// All operations were applied but the `Commit` marker was never
+    /// written: recovery must redo the step idempotently.
+    AppliedNoMarker,
+    /// The step commits cleanly; power fails `extra_writes` demand writes
+    /// later, between steps ("quiet" crash point). With `at_step == 0` the
+    /// countdown arms immediately, so a crash can also precede the first
+    /// step.
+    AfterCommit {
+        /// Demand writes served after the commit before power dies.
+        extra_writes: u64,
+    },
+}
+
+/// A deterministic, seedable crash schedule: kill the power at the
+/// `at_step`-th journaled step (1-based), in the manner of `mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// Which step record triggers the crash (1-based count of `Step`
+    /// records appended by this persistor). `0` is only meaningful with
+    /// [`CrashMode::AfterCommit`], arming the countdown from the start.
+    pub at_step: u64,
+    /// Where in the protocol the power dies.
+    pub mode: CrashMode,
+}
+
+/// The simulated non-volatile metadata device: one snapshot region and one
+/// append-only journal region. Both survive power failure byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Store {
+    /// The last full metadata snapshot ([`crate::state::encode_snapshot`]).
+    pub snapshot: Vec<u8>,
+    /// The write-ahead journal since that snapshot.
+    pub journal: Vec<u8>,
+}
+
+/// Journaling sink with optional crash injection. See the module docs.
+#[derive(Debug)]
+pub struct Persistor {
+    store: Store,
+    next_seq: u64,
+    steps: u64,
+    plan: Option<CrashPlan>,
+    powered: bool,
+    countdown: Option<u64>,
+}
+
+impl Persistor {
+    /// Wrap a store whose next journal record will carry sequence number
+    /// `next_seq`.
+    pub fn new(store: Store, next_seq: u64) -> Self {
+        Self {
+            store,
+            next_seq,
+            steps: 0,
+            plan: None,
+            powered: true,
+            countdown: None,
+        }
+    }
+
+    /// The durable store (snapshot + journal) as it stands.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Consume the persistor, keeping only what survives power loss.
+    pub fn into_store(self) -> Store {
+        self.store
+    }
+
+    /// Whether power is still on. `false` after an injected crash fires or
+    /// [`Persistor::power_cut`].
+    pub fn powered(&self) -> bool {
+        self.powered
+    }
+
+    /// Sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of `Step` records appended by this persistor (the counter
+    /// [`CrashPlan::at_step`] is matched against).
+    pub fn steps_logged(&self) -> u64 {
+        self.steps
+    }
+
+    /// Arm a crash plan. Replaces any previous plan.
+    pub fn set_plan(&mut self, plan: CrashPlan) {
+        if let CrashPlan {
+            at_step: 0,
+            mode: CrashMode::AfterCommit { extra_writes },
+        } = plan
+        {
+            self.countdown = Some(extra_writes);
+            self.plan = None;
+        } else {
+            self.plan = Some(plan);
+            self.countdown = None;
+        }
+    }
+
+    /// Cleanly cut the power between requests (orderly shutdown has the
+    /// same persistence semantics as a quiet-point crash).
+    pub fn power_cut(&mut self) {
+        self.powered = false;
+    }
+
+    /// Poll the crash schedule at the start of a crashable demand write.
+    /// Returns `true` when the write must abort because power is (now)
+    /// lost.
+    pub fn poll_pre_write(&mut self) -> bool {
+        if !self.powered {
+            return true;
+        }
+        if let Some(c) = self.countdown.as_mut() {
+            if *c == 0 {
+                self.powered = false;
+                self.countdown = None;
+                return true;
+            }
+            *c -= 1;
+        }
+        false
+    }
+
+    /// Replace the snapshot with `snapshot` (already encoded at sequence
+    /// [`Persistor::next_seq`]) and clear the journal.
+    pub fn install_checkpoint(&mut self, snapshot: Vec<u8>) {
+        assert!(self.powered, "checkpoint after power loss");
+        self.store.snapshot = snapshot;
+        self.store.journal.clear();
+    }
+
+    /// Append a `Reseed` record (used by recovery re-randomization).
+    pub fn append_reseed(&mut self, seed: u64) {
+        assert!(self.powered, "reseed after power loss");
+        let rec = Record::Reseed {
+            seq: self.next_seq,
+            seed,
+        };
+        self.next_seq += 1;
+        self.store.journal.extend_from_slice(&encode_record(&rec));
+    }
+
+    fn crash_here(&mut self) -> Option<CrashMode> {
+        match self.plan {
+            Some(CrashPlan { at_step, mode }) if at_step == self.steps => {
+                self.plan = None;
+                Some(mode)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl StepSink for Persistor {
+    fn commit(&mut self, bank: &mut PcmBank, payload: &[u8], ops: &[PhysOp]) -> Ns {
+        // A scheme may fire several steps inside one demand write (e.g. a
+        // two-level scheme's outer then inner step). If the crash struck an
+        // earlier step of the same write, the later ones die with the
+        // machine: nothing is journaled, nothing touches the bank, and the
+        // scheme's in-memory transition is discarded at recovery along with
+        // everything else volatile.
+        if !self.powered {
+            return 0;
+        }
+        self.steps += 1;
+
+        let logged: Vec<LoggedOp> = ops.iter().map(|op| LoggedOp::capture(op, bank)).collect();
+        let rec = Record::Step {
+            seq: self.next_seq,
+            payload: payload.to_vec(),
+            ops: logged.clone(),
+        };
+        let encoded = encode_record(&rec);
+
+        match self.crash_here() {
+            Some(CrashMode::TornRecord) => {
+                let keep = (encoded.len() / 2).max(1);
+                self.store.journal.extend_from_slice(&encoded[..keep]);
+                self.powered = false;
+                return 0;
+            }
+            Some(CrashMode::RecordedNotApplied) => {
+                self.store.journal.extend_from_slice(&encoded);
+                self.next_seq += 1;
+                self.powered = false;
+                return 0;
+            }
+            Some(CrashMode::HalfApplied) => {
+                self.store.journal.extend_from_slice(&encoded);
+                self.next_seq += 1;
+                if let Some(&LoggedOp::Swap { a, b_data, .. }) = logged.first() {
+                    bank.write_line(a, b_data);
+                }
+                self.powered = false;
+                return 0;
+            }
+            Some(CrashMode::AppliedNoMarker) => {
+                self.store.journal.extend_from_slice(&encoded);
+                self.next_seq += 1;
+                ApplySink.commit(bank, payload, ops);
+                self.powered = false;
+                return 0;
+            }
+            Some(CrashMode::AfterCommit { extra_writes }) => {
+                self.countdown = Some(extra_writes);
+            }
+            None => {}
+        }
+
+        // The normal, crash-free protocol.
+        self.store.journal.extend_from_slice(&encoded);
+        self.next_seq += 1;
+        let latency = ApplySink.commit(bank, payload, ops);
+        let marker = Record::Commit { seq: self.next_seq };
+        self.next_seq += 1;
+        self.store
+            .journal
+            .extend_from_slice(&encode_record(&marker));
+        latency
+    }
+}

@@ -1,0 +1,108 @@
+//! Snapshot soundness for every scheme: snapshot → restore is the
+//! identity at arbitrary workload points, and a bit-flipped snapshot is
+//! rejected by the checksum rather than decoded into a wrong mapping.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_pcm::{LineData, MemoryController, TimingModel, WearLeveler};
+use srbsg_persist::{decode_snapshot, encode_snapshot, Enc, MetadataState};
+use srbsg_wearlevel::{
+    AdaptiveRbsg, MultiWaySr, Rbsg, SecurityRefresh, StartGap, TwoLevelSr, WriteStreamDetector,
+};
+
+/// Drive `scheme` to a random workload point, then check that a snapshot
+/// decodes back to a state with identical re-encoding and identical
+/// translation, and that any single-bit corruption is rejected.
+fn check_snapshot<W>(scheme: W, nwrites: usize, seed: u64, flip: usize)
+where
+    W: WearLeveler + MetadataState,
+{
+    let mut mc = MemoryController::new(scheme, u64::MAX, TimingModel::PAPER);
+    let lines = mc.logical_lines();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..nwrites {
+        let la = rng.random::<u64>() % lines;
+        mc.write(la, LineData::Mixed(i as u32));
+    }
+
+    let bytes = encode_snapshot(mc.scheme(), 42);
+    let (restored, seq) = decode_snapshot::<W>(&bytes).expect("clean snapshot must decode");
+    assert_eq!(seq, 42);
+
+    let mut original = Enc::new();
+    mc.scheme().encode_state(&mut original);
+    let mut reencoded = Enc::new();
+    restored.encode_state(&mut reencoded);
+    assert_eq!(
+        original.as_bytes(),
+        reencoded.as_bytes(),
+        "restore is not the identity on the encoded state"
+    );
+    for la in 0..lines {
+        assert_eq!(
+            mc.scheme().translate(la),
+            restored.translate(la),
+            "restored mapping diverges at {la}"
+        );
+    }
+
+    // One flipped bit anywhere in the snapshot must be rejected.
+    let mut corrupt = bytes.clone();
+    let byte = flip % corrupt.len();
+    let bit = (flip / corrupt.len()) % 8;
+    corrupt[byte] ^= 1 << bit;
+    assert!(
+        decode_snapshot::<W>(&corrupt).is_err(),
+        "bit {bit} of byte {byte} flipped undetected"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn start_gap_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        check_snapshot(StartGap::start_gap(16, 3), n, seed, flip);
+    }
+
+    #[test]
+    fn rbsg_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5);
+        check_snapshot(Rbsg::with_feistel(&mut rng, 5, 4, 3), n, seed, flip);
+    }
+
+    #[test]
+    fn security_refresh_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        check_snapshot(SecurityRefresh::new(32, 4, 3, seed ^ 0x51), n, seed, flip);
+    }
+
+    #[test]
+    fn two_level_sr_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        check_snapshot(TwoLevelSr::new(32, 4, 3, 6, seed ^ 0x2D), n, seed, flip);
+    }
+
+    #[test]
+    fn multi_way_sr_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        check_snapshot(MultiWaySr::new(32, 4, 3, 6, seed ^ 0x3E), n, seed, flip);
+    }
+
+    #[test]
+    fn adaptive_rbsg_snapshot_roundtrip(n in 0usize..300, seed in any::<u64>(), flip in any::<usize>()) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7C);
+        let scheme = AdaptiveRbsg::new(
+            Rbsg::with_feistel(&mut rng, 5, 4, 4),
+            WriteStreamDetector::new(4, 64, 0.5),
+            4,
+        );
+        check_snapshot(scheme, n, seed, flip);
+    }
+
+    #[test]
+    fn security_rbsg_snapshot_roundtrip(n in 0usize..400, seed in any::<u64>(), flip in any::<usize>()) {
+        let mut cfg = SecurityRbsgConfig::small(4, 2);
+        cfg.seed = seed ^ 0x99;
+        check_snapshot(SecurityRbsg::new(cfg), n, seed, flip);
+    }
+}

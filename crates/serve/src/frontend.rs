@@ -33,6 +33,7 @@ pub struct FrontEnd<W: WearLeveler> {
     cfg: ServeConfig,
     quarantined: Vec<bool>,
     events: Vec<QuarantineEvent>,
+    releases: Vec<QuarantineEvent>,
     stats: ServeStats,
     next_id: u64,
 }
@@ -46,6 +47,7 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
             cfg: cfg.validated(),
             quarantined: vec![false; banks],
             events: Vec::new(),
+            releases: Vec::new(),
             stats: ServeStats::default(),
             next_id: 0,
         }
@@ -80,6 +82,44 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
     /// Whether `bank` is currently quarantined.
     pub fn is_quarantined(&self, bank: usize) -> bool {
         self.quarantined[bank]
+    }
+
+    /// Quarantine releases so far, in trigger order. Each records the bank,
+    /// its clock, and the spare pressure *after* replenishment.
+    pub fn release_events(&self) -> &[QuarantineEvent] {
+        &self.releases
+    }
+
+    /// Add `extra` fresh spare lines to `bank`'s pool, and lift its
+    /// quarantine if that brings spare pressure back under the threshold.
+    ///
+    /// A bank that already died of capacity exhaustion stays quarantined:
+    /// its pressure reports 1.0 regardless of provisioning. With
+    /// quarantining disabled (`quarantine_spare_frac <= 0`) this only
+    /// provisions the spares.
+    pub fn replenish_spares(&mut self, bank: usize, extra: u64) {
+        let mc = &mut self.system.banks_mut()[bank];
+        mc.provision_spares(extra);
+        if !self.quarantined[bank] || self.cfg.quarantine_spare_frac <= 0.0 {
+            return;
+        }
+        let pressure = mc.degradation_report().spare_pressure();
+        if pressure < self.cfg.quarantine_spare_frac {
+            self.quarantined[bank] = false;
+            self.releases.push(QuarantineEvent {
+                bank,
+                at_ns: mc.now_ns(),
+                spare_pressure: pressure,
+            });
+        }
+    }
+
+    /// Tear the front-end down to its system (e.g. for an orderly restart:
+    /// recover each bank's wear-leveler, rebuild, re-front). Quarantine
+    /// flags and serving statistics are volatile front-end state and do not
+    /// survive the teardown.
+    pub fn into_system(self) -> MultiBankSystem<W> {
+        self.system
     }
 
     /// Submit one batch of requests and drain every bank queue to

@@ -430,3 +430,112 @@ fn quarantined_bank_serves_reads_and_rejects_writes() {
     assert!(done[2].result.is_ok());
     assert_eq!(fe.stats().rejected_quarantine, 1);
 }
+
+#[test]
+fn replenished_spares_lift_quarantine() {
+    // Same setup as above: hammer bank 0 until both spares are consumed
+    // and the bank quarantines at pressure 1.0.
+    let faults = FaultConfig {
+        seed: 3,
+        spare_lines: 2,
+        ..FaultConfig::default()
+    };
+    let schemes = vec![Fixed { lines: 8 }, Fixed { lines: 8 }];
+    let sys = MultiBankSystem::with_faults(schemes, 40, TimingModel::PAPER, faults);
+    let mut fe = FrontEnd::new(sys, ServeConfig::default());
+    let mut writes = 0u64;
+    while !fe.is_quarantined(0) {
+        assert!(writes < 10_000, "bank 0 never quarantined");
+        fe.submit_batch(
+            vec![Request {
+                la: 0,
+                op: Op::Write(LineData::Mixed(writes as u32)),
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            }],
+            2,
+        );
+        writes += 1;
+    }
+
+    // A field-service top-up drops pressure to 2/8 and lifts the
+    // quarantine, recording a release event.
+    fe.replenish_spares(0, 6);
+    assert!(!fe.is_quarantined(0));
+    assert_eq!(fe.release_events().len(), 1);
+    let rel = fe.release_events()[0];
+    assert_eq!(rel.bank, 0);
+    assert!(rel.spare_pressure < 0.75, "pressure {}", rel.spare_pressure);
+
+    // The bank accepts writes again, and they are durable.
+    let done = fe.submit_batch(
+        vec![
+            Request {
+                la: 0,
+                op: Op::Write(LineData::Mixed(424_242)),
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            },
+            Request {
+                la: 0,
+                op: Op::Read,
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            },
+        ],
+        2,
+    );
+    assert!(done[0].result.is_ok(), "{:?}", done[0].result);
+    assert!(matches!(&done[1].result, Ok(s) if s.data == Some(LineData::Mixed(424_242))));
+    assert_eq!(fe.stats().rejected_quarantine, 0);
+}
+
+#[test]
+fn exhausted_bank_stays_quarantined_after_replenishment() {
+    // Quarantine bank 0 at full spare pressure, then exhaust its capacity
+    // behind the front-end's back (admission would block demand writes).
+    // An exhausted bank reports pressure 1.0 regardless of provisioning,
+    // so replenishment must not lift the quarantine.
+    let faults = FaultConfig {
+        seed: 5,
+        spare_lines: 1,
+        ..FaultConfig::default()
+    };
+    let schemes = vec![Fixed { lines: 8 }];
+    let sys = MultiBankSystem::with_faults(schemes, 30, TimingModel::PAPER, faults);
+    let mut fe = FrontEnd::new(sys, ServeConfig::default());
+    let mut writes = 0u64;
+    while !fe.is_quarantined(0) {
+        assert!(writes < 10_000, "bank 0 never quarantined");
+        fe.submit_batch(
+            vec![Request {
+                la: 0,
+                op: Op::Write(LineData::Mixed(writes as u32)),
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            }],
+            1,
+        );
+        writes += 1;
+    }
+    let mc = &mut fe.system_mut().banks_mut()[0];
+    for i in 0..10_000u64 {
+        if mc.degradation_report().capacity_exhaustion.is_some() {
+            break;
+        }
+        let _ = mc.write_verified(0, LineData::Mixed(i as u32));
+    }
+    assert!(
+        fe.system().banks()[0]
+            .degradation_report()
+            .capacity_exhaustion
+            .is_some(),
+        "bank never exhausted"
+    );
+    fe.replenish_spares(0, 1_000);
+    assert!(
+        fe.is_quarantined(0),
+        "capacity exhaustion reports pressure 1.0 regardless of spares"
+    );
+    assert!(fe.release_events().is_empty());
+}

@@ -7,7 +7,8 @@
 //! itself. The [`AdaptiveRbsg`] wrapper lets that claim be tested.
 
 use srbsg_feistel::FeistelNetwork;
-use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+use srbsg_pcm::{LineAddr, Ns, PcmBank, PhysOp, StepSink, WearLeveler};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, JournaledScheme, MetadataState, PersistError};
 
 use crate::Rbsg;
 
@@ -139,6 +140,62 @@ impl WriteStreamDetector {
     }
 }
 
+impl MetadataState for WriteStreamDetector {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::DETECTOR);
+        enc.u32(self.capacity as u32);
+        enc.u64(self.epoch_len);
+        enc.u64(self.epoch_writes);
+        enc.u64(self.threshold.to_bits());
+        enc.u8(self.alarm as u8);
+        enc.u64(self.epochs_alarmed);
+        enc.u32(self.counters.len() as u32);
+        for &(la, c) in &self.counters {
+            enc.u64(la);
+            enc.u64(c);
+        }
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::DETECTOR)?;
+        let capacity = dec.u32()? as usize;
+        let epoch_len = dec.u64()?;
+        let epoch_writes = dec.u64()?;
+        let threshold = f64::from_bits(dec.u64()?);
+        if capacity < 1 || epoch_len < 1 || epoch_writes >= epoch_len {
+            return Err(PersistError::Corrupt("detector epoch state out of range"));
+        }
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(PersistError::Corrupt("detector threshold out of range"));
+        }
+        let alarm = match dec.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(PersistError::Corrupt("detector alarm flag")),
+        };
+        let epochs_alarmed = dec.u64()?;
+        let n = dec.u32()? as usize;
+        if n > capacity {
+            return Err(PersistError::Corrupt("detector counter overflow"));
+        }
+        let mut counters = Vec::with_capacity(capacity);
+        for _ in 0..n {
+            let la = dec.u64()?;
+            let c = dec.u64()?;
+            counters.push((la, c));
+        }
+        Ok(Self {
+            counters,
+            capacity,
+            epoch_len,
+            epoch_writes,
+            threshold,
+            alarm,
+            epochs_alarmed,
+        })
+    }
+}
+
 /// RBSG with an online attack detector: while the alarm is raised, the
 /// effective remap interval drops by `boost` (wear-leveling runs faster).
 #[derive(Debug, Clone)]
@@ -234,6 +291,65 @@ impl WearLeveler for AdaptiveRbsg {
 
     fn name(&self) -> &'static str {
         "adaptive-rbsg"
+    }
+}
+
+impl MetadataState for AdaptiveRbsg {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::ADAPTIVE_RBSG);
+        self.inner.encode_state(enc);
+        self.detector.encode_state(enc);
+        enc.u64(self.boost);
+        enc.u64(self.base_interval);
+        enc.u64(self.credit);
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::ADAPTIVE_RBSG)?;
+        let inner = Rbsg::<FeistelNetwork>::decode_state(dec)?;
+        let detector = WriteStreamDetector::decode_state(dec)?;
+        let boost = dec.u64()?;
+        let base_interval = dec.u64()?;
+        let credit = dec.u64()?;
+        if boost < 1 || base_interval != inner.interval() {
+            return Err(PersistError::Corrupt("adaptive-rbsg config out of range"));
+        }
+        Ok(Self {
+            inner,
+            detector,
+            boost,
+            base_interval,
+            credit,
+        })
+    }
+}
+
+impl JournaledScheme for AdaptiveRbsg {
+    /// The journaled path mirrors [`WearLeveler::before_write`], routing
+    /// the inner RBSG's steps through `sink`. Detector updates made
+    /// *between* steps are volatile (they bias only the future remap
+    /// schedule, never the mapping) and are captured by snapshots, not the
+    /// journal — exactly like the schemes' write counters.
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        let alarmed = self.detector.observe(la);
+        let mut latency = self.inner.before_write_logged(la, bank, sink);
+        if alarmed {
+            self.credit += self.boost - 1;
+            while self.credit > 0 {
+                self.credit -= 1;
+                latency += self.inner.before_write_logged(la, bank, sink);
+            }
+        }
+        latency
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        self.inner.replay_step(payload)
     }
 }
 

@@ -97,6 +97,28 @@ impl GapMapping {
     }
 }
 
+impl srbsg_persist::MetadataState for GapMapping {
+    fn encode_state(&self, enc: &mut srbsg_persist::Enc) {
+        enc.u8(srbsg_persist::tags::GAP_MAPPING);
+        enc.u64(self.lines);
+        enc.u64(self.start);
+        enc.u64(self.gap);
+    }
+
+    fn decode_state(dec: &mut srbsg_persist::Dec) -> Result<Self, srbsg_persist::PersistError> {
+        srbsg_persist::expect_tag(dec, srbsg_persist::tags::GAP_MAPPING)?;
+        let lines = dec.u64()?;
+        let start = dec.u64()?;
+        let gap = dec.u64()?;
+        if lines < 1 || start >= lines || gap > lines {
+            return Err(srbsg_persist::PersistError::Corrupt(
+                "gap mapping registers out of range",
+            ));
+        }
+        Ok(Self { lines, start, gap })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,8 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+use srbsg_pcm::{ApplySink, LineAddr, Ns, PcmBank, PhysOp, StepSink, WearLeveler};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, JournaledScheme, MetadataState, PersistError};
 
 use crate::SrMapping;
 
@@ -72,6 +73,48 @@ impl MultiWaySr {
         let r = ia / self.region_lines;
         r * self.region_lines + self.inner[r as usize].translate(ia % self.region_lines)
     }
+
+    /// One outer (way-level) refresh step (journal payload 0).
+    fn outer_step(&mut self) -> Vec<PhysOp> {
+        match self.outer.advance(&mut self.rng) {
+            Some(swap) => vec![PhysOp::Swap {
+                a: self.inner_translate(swap.a),
+                b: self.inner_translate(swap.b),
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    /// One inner refresh step in way `r` (journal payload `1 + r`).
+    fn inner_step(&mut self, r: usize) -> Vec<PhysOp> {
+        let base = r as u64 * self.region_lines;
+        match self.inner[r].advance(&mut self.rng) {
+            Some(swap) => vec![PhysOp::Swap {
+                a: base + swap.a,
+                b: base + swap.b,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn step_if_due(&mut self, la: LineAddr, bank: &mut PcmBank, sink: &mut dyn StepSink) -> Ns {
+        let mut latency = 0;
+        self.outer_counter += 1;
+        if self.outer_counter >= self.outer_interval {
+            self.outer_counter = 0;
+            let ops = self.outer_step();
+            latency += sink.commit(bank, &0u32.to_le_bytes(), &ops);
+        }
+        let ia = self.outer.translate(la);
+        let r = (ia / self.region_lines) as usize;
+        self.inner_counters[r] += 1;
+        if self.inner_counters[r] >= self.inner_interval {
+            self.inner_counters[r] = 0;
+            let ops = self.inner_step(r);
+            latency += sink.commit(bank, &(1 + r as u32).to_le_bytes(), &ops);
+        }
+        latency
+    }
 }
 
 impl WearLeveler for MultiWaySr {
@@ -80,27 +123,7 @@ impl WearLeveler for MultiWaySr {
     }
 
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
-        let mut latency = 0;
-        self.outer_counter += 1;
-        if self.outer_counter >= self.outer_interval {
-            self.outer_counter = 0;
-            if let Some(swap) = self.outer.advance(&mut self.rng) {
-                let pa = self.inner_translate(swap.a);
-                let pb = self.inner_translate(swap.b);
-                latency += bank.swap_lines(pa, pb);
-            }
-        }
-        let ia = self.outer.translate(la);
-        let r = (ia / self.region_lines) as usize;
-        self.inner_counters[r] += 1;
-        if self.inner_counters[r] >= self.inner_interval {
-            self.inner_counters[r] = 0;
-            let base = r as u64 * self.region_lines;
-            if let Some(swap) = self.inner[r].advance(&mut self.rng) {
-                latency += bank.swap_lines(base + swap.a, base + swap.b);
-            }
-        }
-        latency
+        self.step_if_due(la, bank, &mut ApplySink)
     }
 
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
@@ -130,6 +153,108 @@ impl WearLeveler for MultiWaySr {
 
     fn name(&self) -> &'static str {
         "multi-way-sr"
+    }
+}
+
+impl MetadataState for MultiWaySr {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::MULTI_WAY_SR);
+        enc.u64(self.lines);
+        enc.u64(self.inner_interval);
+        enc.u64(self.outer_interval);
+        enc.u64(self.outer_counter);
+        self.outer.encode_state(enc);
+        enc.u32(self.inner.len() as u32);
+        for m in &self.inner {
+            m.encode_state(enc);
+        }
+        for &c in &self.inner_counters {
+            enc.u64(c);
+        }
+        self.rng.encode_state(enc);
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::MULTI_WAY_SR)?;
+        let lines = dec.u64()?;
+        let inner_interval = dec.u64()?;
+        let outer_interval = dec.u64()?;
+        let outer_counter = dec.u64()?;
+        if inner_interval < 1 || outer_interval < 1 || outer_counter >= outer_interval {
+            return Err(PersistError::Corrupt("multi-way-sr intervals out of range"));
+        }
+        let outer = SrMapping::decode_state(dec)?;
+        if outer.lines() != lines {
+            return Err(PersistError::Corrupt("multi-way-sr outer size mismatch"));
+        }
+        let ways = dec.u32()? as u64;
+        if ways < 2 || !lines.is_multiple_of(ways) {
+            return Err(PersistError::Corrupt("multi-way-sr geometry out of range"));
+        }
+        let region_lines = lines / ways;
+        let mut inner = Vec::with_capacity(ways as usize);
+        for _ in 0..ways {
+            let m = SrMapping::decode_state(dec)?;
+            if m.lines() != region_lines {
+                return Err(PersistError::Corrupt("multi-way-sr inner size mismatch"));
+            }
+            inner.push(m);
+        }
+        let mut inner_counters = Vec::with_capacity(ways as usize);
+        for _ in 0..ways {
+            let c = dec.u64()?;
+            if c >= inner_interval {
+                return Err(PersistError::Corrupt("multi-way-sr counter out of range"));
+            }
+            inner_counters.push(c);
+        }
+        let rng = SmallRng::decode_state(dec)?;
+        Ok(Self {
+            outer,
+            outer_counter,
+            outer_interval,
+            inner,
+            inner_counters,
+            inner_interval,
+            lines,
+            region_lines,
+            rng,
+        })
+    }
+}
+
+impl JournaledScheme for MultiWaySr {
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        self.step_if_due(la, bank, sink)
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        let raw: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| PersistError::Corrupt("multi-way-sr step payload size"))?;
+        match u32::from_le_bytes(raw) {
+            0 => {
+                self.outer_counter = 0;
+                Ok(self.outer_step())
+            }
+            k => {
+                let r = (k - 1) as usize;
+                if r >= self.inner.len() {
+                    return Err(PersistError::Corrupt("multi-way-sr step region"));
+                }
+                self.inner_counters[r] = 0;
+                Ok(self.inner_step(r))
+            }
+        }
+    }
+
+    fn reseed_rng(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 }
 

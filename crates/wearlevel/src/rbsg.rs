@@ -2,7 +2,8 @@
 //! security-aware algebraic wear-leveling scheme the paper attacks.
 
 use srbsg_feistel::{AddressPermutation, FeistelNetwork, IdentityPermutation};
-use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+use srbsg_pcm::{ApplySink, LineAddr, Ns, PcmBank, PhysOp, StepSink, WearLeveler};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, JournaledScheme, MetadataState, PersistError};
 
 use crate::GapMapping;
 
@@ -110,6 +111,31 @@ impl<P: AddressPermutation> Rbsg<P> {
     fn region_base(&self, r: u64) -> u64 {
         r * (self.region_lines + 1)
     }
+
+    /// The metadata transition of one gap movement in region `r`, plus the
+    /// physical copy it implies. Shared by the live path ([`WearLeveler::
+    /// before_write`] via [`ApplySink`]) and journal replay so the two can
+    /// never diverge.
+    fn step_region(&mut self, r: usize) -> Vec<PhysOp> {
+        let base = self.region_base(r as u64);
+        let mv = self.regions[r].advance();
+        vec![PhysOp::Move {
+            src: base + mv.src,
+            dst: base + mv.dst,
+        }]
+    }
+
+    fn step_if_due(&mut self, la: LineAddr, bank: &mut PcmBank, sink: &mut dyn StepSink) -> Ns {
+        let ia = self.randomizer.encrypt(la);
+        let r = self.region_of(ia) as usize;
+        self.counters[r] += 1;
+        if self.counters[r] < self.interval {
+            return 0;
+        }
+        self.counters[r] = 0;
+        let ops = self.step_region(r);
+        sink.commit(bank, &(r as u32).to_le_bytes(), &ops)
+    }
 }
 
 impl<P: AddressPermutation> WearLeveler for Rbsg<P> {
@@ -121,16 +147,7 @@ impl<P: AddressPermutation> WearLeveler for Rbsg<P> {
     }
 
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
-        let ia = self.randomizer.encrypt(la);
-        let r = self.region_of(ia) as usize;
-        self.counters[r] += 1;
-        if self.counters[r] < self.interval {
-            return 0;
-        }
-        self.counters[r] = 0;
-        let base = self.region_base(r as u64);
-        let mv = self.regions[r].advance();
-        bank.move_line(base + mv.src, base + mv.dst)
+        self.step_if_due(la, bank, &mut ApplySink)
     }
 
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
@@ -154,6 +171,80 @@ impl<P: AddressPermutation> WearLeveler for Rbsg<P> {
 
     fn name(&self) -> &'static str {
         "rbsg"
+    }
+}
+
+impl<P: AddressPermutation + MetadataState> MetadataState for Rbsg<P> {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::RBSG);
+        self.randomizer.encode_state(enc);
+        enc.u64(self.interval);
+        enc.u32(self.regions.len() as u32);
+        for region in &self.regions {
+            region.encode_state(enc);
+        }
+        for &c in &self.counters {
+            enc.u64(c);
+        }
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::RBSG)?;
+        let randomizer = P::decode_state(dec)?;
+        let lines = randomizer.domain_size();
+        let interval = dec.u64()?;
+        let region_count = dec.u32()? as u64;
+        if interval < 1 || region_count < 1 || !lines.is_multiple_of(region_count) {
+            return Err(PersistError::Corrupt("rbsg geometry out of range"));
+        }
+        let region_lines = lines / region_count;
+        let mut regions = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let region = GapMapping::decode_state(dec)?;
+            if region.lines() != region_lines {
+                return Err(PersistError::Corrupt("rbsg region size mismatch"));
+            }
+            regions.push(region);
+        }
+        let mut counters = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let c = dec.u64()?;
+            if c >= interval {
+                return Err(PersistError::Corrupt("rbsg counter out of range"));
+            }
+            counters.push(c);
+        }
+        Ok(Self {
+            randomizer,
+            regions,
+            counters,
+            interval,
+            lines,
+            region_lines,
+        })
+    }
+}
+
+impl<P: AddressPermutation + MetadataState> JournaledScheme for Rbsg<P> {
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        self.step_if_due(la, bank, sink)
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        let raw: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| PersistError::Corrupt("rbsg step payload size"))?;
+        let r = u32::from_le_bytes(raw) as usize;
+        if r >= self.regions.len() {
+            return Err(PersistError::Corrupt("rbsg step region out of range"));
+        }
+        self.counters[r] = 0;
+        Ok(self.step_region(r))
     }
 }
 

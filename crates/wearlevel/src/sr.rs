@@ -3,7 +3,8 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use srbsg_pcm::{LineAddr, Ns, PcmBank, WearLeveler};
+use srbsg_pcm::{ApplySink, LineAddr, Ns, PcmBank, PhysOp, StepSink, WearLeveler};
+use srbsg_persist::{expect_tag, tags, Dec, Enc, JournaledScheme, MetadataState, PersistError};
 
 use crate::SrMapping;
 
@@ -65,6 +66,32 @@ impl SecurityRefresh {
     fn region_of(&self, la: u64) -> u64 {
         la / self.region_lines
     }
+
+    /// One refresh step of region `r`: the metadata transition (including
+    /// the round-end RNG draw) plus the swap it implies, if any. A skip
+    /// step returns no ops but still mutates the CRP/key schedule, so the
+    /// journaled path records it regardless.
+    fn step_region(&mut self, r: usize) -> Vec<PhysOp> {
+        let base = r as u64 * self.region_lines;
+        match self.maps[r].advance(&mut self.rng) {
+            Some(swap) => vec![PhysOp::Swap {
+                a: base + swap.a,
+                b: base + swap.b,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn step_if_due(&mut self, la: LineAddr, bank: &mut PcmBank, sink: &mut dyn StepSink) -> Ns {
+        let r = self.region_of(la) as usize;
+        self.counters[r] += 1;
+        if self.counters[r] < self.interval {
+            return 0;
+        }
+        self.counters[r] = 0;
+        let ops = self.step_region(r);
+        sink.commit(bank, &(r as u32).to_le_bytes(), &ops)
+    }
 }
 
 impl WearLeveler for SecurityRefresh {
@@ -75,17 +102,7 @@ impl WearLeveler for SecurityRefresh {
     }
 
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
-        let r = self.region_of(la) as usize;
-        self.counters[r] += 1;
-        if self.counters[r] < self.interval {
-            return 0;
-        }
-        self.counters[r] = 0;
-        let base = r as u64 * self.region_lines;
-        match self.maps[r].advance(&mut self.rng) {
-            Some(swap) => bank.swap_lines(base + swap.a, base + swap.b),
-            None => 0,
-        }
+        self.step_if_due(la, bank, &mut ApplySink)
     }
 
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
@@ -109,6 +126,85 @@ impl WearLeveler for SecurityRefresh {
 
     fn name(&self) -> &'static str {
         "security-refresh"
+    }
+}
+
+impl MetadataState for SecurityRefresh {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::SECURITY_REFRESH);
+        enc.u64(self.lines);
+        enc.u64(self.interval);
+        enc.u32(self.maps.len() as u32);
+        for m in &self.maps {
+            m.encode_state(enc);
+        }
+        for &c in &self.counters {
+            enc.u64(c);
+        }
+        self.rng.encode_state(enc);
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::SECURITY_REFRESH)?;
+        let lines = dec.u64()?;
+        let interval = dec.u64()?;
+        let region_count = dec.u32()? as u64;
+        if interval < 1 || region_count < 1 || !lines.is_multiple_of(region_count) {
+            return Err(PersistError::Corrupt("sr geometry out of range"));
+        }
+        let region_lines = lines / region_count;
+        let mut maps = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let m = SrMapping::decode_state(dec)?;
+            if m.lines() != region_lines {
+                return Err(PersistError::Corrupt("sr region size mismatch"));
+            }
+            maps.push(m);
+        }
+        let mut counters = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let c = dec.u64()?;
+            if c >= interval {
+                return Err(PersistError::Corrupt("sr counter out of range"));
+            }
+            counters.push(c);
+        }
+        let rng = SmallRng::decode_state(dec)?;
+        Ok(Self {
+            maps,
+            counters,
+            interval,
+            lines,
+            region_lines,
+            rng,
+        })
+    }
+}
+
+impl JournaledScheme for SecurityRefresh {
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        self.step_if_due(la, bank, sink)
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        let raw: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| PersistError::Corrupt("sr step payload size"))?;
+        let r = u32::from_le_bytes(raw) as usize;
+        if r >= self.maps.len() {
+            return Err(PersistError::Corrupt("sr step region out of range"));
+        }
+        self.counters[r] = 0;
+        Ok(self.step_region(r))
+    }
+
+    fn reseed_rng(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 }
 
@@ -205,24 +301,38 @@ impl TwoLevelSr {
         let r = ia / self.region_lines;
         r * self.region_lines + self.inner[r as usize].translate(ia % self.region_lines)
     }
-}
 
-impl WearLeveler for TwoLevelSr {
-    fn translate(&self, la: LineAddr) -> LineAddr {
-        self.inner_translate(self.outer.translate(la))
+    /// One outer refresh step (journal payload 0).
+    fn outer_step(&mut self) -> Vec<PhysOp> {
+        match self.outer.advance(&mut self.rng) {
+            Some(swap) => vec![PhysOp::Swap {
+                a: self.inner_translate(swap.a),
+                b: self.inner_translate(swap.b),
+            }],
+            None => Vec::new(),
+        }
     }
 
-    fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
+    /// One inner refresh step in sub-region `r` (journal payload `1 + r`).
+    fn inner_step(&mut self, r: usize) -> Vec<PhysOp> {
+        let base = r as u64 * self.region_lines;
+        match self.inner[r].advance(&mut self.rng) {
+            Some(swap) => vec![PhysOp::Swap {
+                a: base + swap.a,
+                b: base + swap.b,
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn step_if_due(&mut self, la: LineAddr, bank: &mut PcmBank, sink: &mut dyn StepSink) -> Ns {
         let mut latency = 0;
         // Outer level: one refresh per ψ_out demand writes to the bank.
         self.outer_counter += 1;
         if self.outer_counter >= self.outer_interval {
             self.outer_counter = 0;
-            if let Some(swap) = self.outer.advance(&mut self.rng) {
-                let pa = self.inner_translate(swap.a);
-                let pb = self.inner_translate(swap.b);
-                latency += bank.swap_lines(pa, pb);
-            }
+            let ops = self.outer_step();
+            latency += sink.commit(bank, &0u32.to_le_bytes(), &ops);
         }
         // Inner level: one refresh per ψ_in demand writes to the
         // sub-region this write lands in (post-outer-movement mapping).
@@ -231,12 +341,20 @@ impl WearLeveler for TwoLevelSr {
         self.inner_counters[r] += 1;
         if self.inner_counters[r] >= self.inner_interval {
             self.inner_counters[r] = 0;
-            let base = r as u64 * self.region_lines;
-            if let Some(swap) = self.inner[r].advance(&mut self.rng) {
-                latency += bank.swap_lines(base + swap.a, base + swap.b);
-            }
+            let ops = self.inner_step(r);
+            latency += sink.commit(bank, &(1 + r as u32).to_le_bytes(), &ops);
         }
         latency
+    }
+}
+
+impl WearLeveler for TwoLevelSr {
+    fn translate(&self, la: LineAddr) -> LineAddr {
+        self.inner_translate(self.outer.translate(la))
+    }
+
+    fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
+        self.step_if_due(la, bank, &mut ApplySink)
     }
 
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
@@ -266,6 +384,108 @@ impl WearLeveler for TwoLevelSr {
 
     fn name(&self) -> &'static str {
         "two-level-sr"
+    }
+}
+
+impl MetadataState for TwoLevelSr {
+    fn encode_state(&self, enc: &mut Enc) {
+        enc.u8(tags::TWO_LEVEL_SR);
+        enc.u64(self.lines);
+        enc.u64(self.inner_interval);
+        enc.u64(self.outer_interval);
+        enc.u64(self.outer_counter);
+        self.outer.encode_state(enc);
+        enc.u32(self.inner.len() as u32);
+        for m in &self.inner {
+            m.encode_state(enc);
+        }
+        for &c in &self.inner_counters {
+            enc.u64(c);
+        }
+        self.rng.encode_state(enc);
+    }
+
+    fn decode_state(dec: &mut Dec) -> Result<Self, PersistError> {
+        expect_tag(dec, tags::TWO_LEVEL_SR)?;
+        let lines = dec.u64()?;
+        let inner_interval = dec.u64()?;
+        let outer_interval = dec.u64()?;
+        let outer_counter = dec.u64()?;
+        if inner_interval < 1 || outer_interval < 1 || outer_counter >= outer_interval {
+            return Err(PersistError::Corrupt("two-level-sr intervals out of range"));
+        }
+        let outer = SrMapping::decode_state(dec)?;
+        if outer.lines() != lines {
+            return Err(PersistError::Corrupt("two-level-sr outer size mismatch"));
+        }
+        let region_count = dec.u32()? as u64;
+        if region_count < 1 || !lines.is_multiple_of(region_count) {
+            return Err(PersistError::Corrupt("two-level-sr geometry out of range"));
+        }
+        let region_lines = lines / region_count;
+        let mut inner = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let m = SrMapping::decode_state(dec)?;
+            if m.lines() != region_lines {
+                return Err(PersistError::Corrupt("two-level-sr inner size mismatch"));
+            }
+            inner.push(m);
+        }
+        let mut inner_counters = Vec::with_capacity(region_count as usize);
+        for _ in 0..region_count {
+            let c = dec.u64()?;
+            if c >= inner_interval {
+                return Err(PersistError::Corrupt("two-level-sr counter out of range"));
+            }
+            inner_counters.push(c);
+        }
+        let rng = SmallRng::decode_state(dec)?;
+        Ok(Self {
+            outer,
+            outer_counter,
+            outer_interval,
+            inner,
+            inner_counters,
+            inner_interval,
+            lines,
+            region_lines,
+            rng,
+        })
+    }
+}
+
+impl JournaledScheme for TwoLevelSr {
+    fn before_write_logged(
+        &mut self,
+        la: LineAddr,
+        bank: &mut PcmBank,
+        sink: &mut dyn StepSink,
+    ) -> Ns {
+        self.step_if_due(la, bank, sink)
+    }
+
+    fn replay_step(&mut self, payload: &[u8]) -> Result<Vec<PhysOp>, PersistError> {
+        let raw: [u8; 4] = payload
+            .try_into()
+            .map_err(|_| PersistError::Corrupt("two-level-sr step payload size"))?;
+        match u32::from_le_bytes(raw) {
+            0 => {
+                self.outer_counter = 0;
+                Ok(self.outer_step())
+            }
+            k => {
+                let r = (k - 1) as usize;
+                if r >= self.inner.len() {
+                    return Err(PersistError::Corrupt("two-level-sr step region"));
+                }
+                self.inner_counters[r] = 0;
+                Ok(self.inner_step(r))
+            }
+        }
+    }
+
+    fn reseed_rng(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(seed);
     }
 }
 

@@ -171,6 +171,46 @@ impl SrMapping {
     }
 }
 
+impl srbsg_persist::MetadataState for SrMapping {
+    fn encode_state(&self, enc: &mut srbsg_persist::Enc) {
+        enc.u8(srbsg_persist::tags::SR_MAPPING);
+        enc.u64(self.lines);
+        enc.u64(self.mask);
+        enc.u64(self.key_c);
+        enc.u64(self.key_p);
+        enc.u64(self.crp);
+        enc.u64(self.rounds_completed);
+    }
+
+    fn decode_state(dec: &mut srbsg_persist::Dec) -> Result<Self, srbsg_persist::PersistError> {
+        srbsg_persist::expect_tag(dec, srbsg_persist::tags::SR_MAPPING)?;
+        let lines = dec.u64()?;
+        let mask = dec.u64()?;
+        let key_c = dec.u64()?;
+        let key_p = dec.u64()?;
+        let crp = dec.u64()?;
+        let rounds_completed = dec.u64()?;
+        if lines < 2 || !lines.is_power_of_two() || mask >= lines {
+            return Err(srbsg_persist::PersistError::Corrupt(
+                "sr mapping geometry out of range",
+            ));
+        }
+        if key_c & !mask != 0 || key_p & !mask != 0 || crp >= lines {
+            return Err(srbsg_persist::PersistError::Corrupt(
+                "sr mapping registers out of range",
+            ));
+        }
+        Ok(Self {
+            lines,
+            mask,
+            key_c,
+            key_p,
+            crp,
+            rounds_completed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
