@@ -1,0 +1,86 @@
+//! Sharded trace-runner throughput: events/sec of the bank-sharded
+//! execution engine at 1, 2, 4, and 8 workers over an 8-bank system.
+//!
+//! Besides the criterion report, the bench writes a machine-readable
+//! summary (median events/sec per worker count, plus the core count the
+//! numbers were taken on) to `BENCH_sharded.json` — override the path with
+//! the `BENCH_SHARDED_JSON` environment variable. Speedup only shows on
+//! multi-core hosts; the output is byte-identical at any worker count
+//! either way, which is what the determinism gates check.
+
+use criterion::{black_box, Criterion};
+use srbsg_pcm::{MultiBankSystem, TimingModel};
+use srbsg_wearlevel::StartGap;
+use srbsg_workloads::{ShardedTraceRunner, WorkloadSpec};
+use std::time::Instant;
+
+const BANKS: usize = 8;
+const LINES_PER_BANK: u64 = 1 << 10;
+const EVENTS_PER_BANK: u64 = 20_000;
+
+fn run_once(jobs: usize) -> u128 {
+    let spec = WorkloadSpec::Zipf {
+        s: 1.1,
+        write_ratio: 0.7,
+        mean_gap: 20,
+    };
+    let runner = ShardedTraceRunner {
+        master_seed: 7,
+        events_per_bank: EVENTS_PER_BANK,
+        curve_points: 20,
+        max_regions: 512,
+    };
+    let mut sys = MultiBankSystem::new(
+        (0..BANKS)
+            .map(|_| StartGap::start_gap(LINES_PER_BANK, 16))
+            .collect(),
+        u64::MAX,
+        TimingModel::PAPER,
+    );
+    let report = runner.run(&mut sys, &|_b, lines, seed| spec.build(lines, seed), jobs);
+    report.demand_writes()
+}
+
+fn main() {
+    let job_counts = [1usize, 2, 4, 8];
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("sharded_runner");
+    g.sample_size(10);
+    for &jobs in &job_counts {
+        g.bench_function(format!("jobs{jobs}"), |b| {
+            b.iter(|| black_box(run_once(jobs)))
+        });
+    }
+    g.finish();
+
+    // Self-timed medians for the JSON artifact (the criterion shim keeps
+    // its samples internal).
+    let total_events = BANKS as u64 * EVENTS_PER_BANK;
+    let mut entries = Vec::new();
+    for &jobs in &job_counts {
+        let mut rates: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(run_once(jobs));
+                total_events as f64 / t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        rates.sort_by(|a, b| a.total_cmp(b));
+        let median = rates[rates.len() / 2];
+        println!("sharded_runner/jobs{jobs}: {median:.0} events/sec");
+        entries.push(format!(
+            "{{\"jobs\": {jobs}, \"events_per_sec\": {median:.0}}}"
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\"bench\": \"sharded_runner\", \"banks\": {BANKS}, \
+         \"lines_per_bank\": {LINES_PER_BANK}, \"events_per_bank\": {EVENTS_PER_BANK}, \
+         \"cores\": {cores}, \"results\": [{}]}}\n",
+        entries.join(", ")
+    );
+    let path =
+        std::env::var("BENCH_SHARDED_JSON").unwrap_or_else(|_| "BENCH_sharded.json".to_string());
+    std::fs::write(&path, json).expect("write bench summary");
+    println!("[wrote {path}]");
+}

@@ -12,12 +12,15 @@
 //!   a mid-trace hot-spot, so spare pressure crosses the quarantine
 //!   threshold while the trace is still running.
 //!
-//! The trace is replayed twice: **open-loop** (a rejected request is
-//! simply lost, as in the original harness) and **closed-loop** (a client
-//! that resubmits `QueueFull`-rejected requests at the head of the next
-//! batch, up to [`RESUBMIT_CAP`] deferrals, then drops them). The CSV
-//! carries both replays with a `mode` column and distinguishes requests
-//! merely *deferred* from those finally *dropped*.
+//! Three replays share the table and CSV (`mode` column): the chaos trace
+//! **open-loop** (a rejected request is simply lost, as in the original
+//! harness), the chaos trace **closed-loop** (a client that resubmits
+//! `QueueFull`-rejected requests at the head of the next batch, up to
+//! [`RESUBMIT_CAP`] deferrals, then drops them — the CSV distinguishes
+//! requests merely *deferred* from those finally *dropped*), and a
+//! **benign** control: one Zipf workload sharded across the banks with
+//! per-bank `shard_seed` streams, exactly as the sharded trace runner
+//! splits it, with no bursts and no hot-spot.
 //!
 //! After each replay, every acknowledged write is audited by reading the
 //! line back: `lost_acked` must be zero — acknowledgment means the data is
@@ -31,6 +34,7 @@ use rand::{RngExt, SeedableRng};
 use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
 use srbsg_pcm::{FaultConfig, LineData, MemoryController, MultiBankSystem, Ns, TimingModel};
 use srbsg_serve::{percentile_ns, FrontEnd, Op, Rejected, Request, ServeConfig};
+use srbsg_workloads::{shard_seed, TraceGenerator, WorkloadSpec};
 use std::collections::BTreeMap;
 
 const BANKS: usize = 8;
@@ -183,6 +187,43 @@ fn chaos_trace(opts: &Opts, system_lines: u64, batch: usize) -> Vec<Request> {
     reqs
 }
 
+/// The benign schedule: one logical Zipf workload sharded across the banks
+/// the same way `ShardedTraceRunner` does it — an independent stream per
+/// bank keyed by [`shard_seed`], round-robin interleaved into arrivals —
+/// with no bursts and no hot-spot. The control group for the chaos rows.
+fn benign_trace(opts: &Opts, system_lines: u64, _batch: usize) -> Vec<Request> {
+    let n = if opts.quick { 24_000 } else { 96_000 };
+    let lines_per_bank = system_lines / BANKS as u64;
+    let spec = WorkloadSpec::Zipf {
+        s: 1.1,
+        write_ratio: 0.55,
+        mean_gap: 100,
+    };
+    let mut gens: Vec<_> = (0..BANKS)
+        .map(|b| spec.build(lines_per_bank, shard_seed(0xBE4169, b)))
+        .collect();
+    let mut arrival: Ns = 0;
+    let mut reqs = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = i % BANKS;
+        let a = gens[b].next_access();
+        arrival += (50 + a.gap_cycles) as Ns;
+        let la = (a.addr % lines_per_bank) * BANKS as u64 + b as u64;
+        let op = if a.is_write {
+            Op::Write(LineData::Mixed(i as u32))
+        } else {
+            Op::Read
+        };
+        reqs.push(Request {
+            la,
+            op,
+            arrival_ns: arrival,
+            deadline_ns: arrival + 60_000,
+        });
+    }
+    reqs
+}
+
 /// One full replay of the chaos trace through a freshly built system.
 struct Replay {
     acc: Vec<BankAcc>,
@@ -192,10 +233,20 @@ struct Replay {
     nreqs: usize,
 }
 
-fn replay(opts: &Opts, serve_cfg: ServeConfig, batch: usize, closed_loop: bool) -> Replay {
+fn replay(
+    opts: &Opts,
+    serve_cfg: ServeConfig,
+    batch: usize,
+    closed_loop: bool,
+    benign: bool,
+) -> Replay {
     let system = build_system(opts);
     let lines = system.logical_lines();
-    let reqs = chaos_trace(opts, lines, batch);
+    let reqs = if benign {
+        benign_trace(opts, lines, batch)
+    } else {
+        chaos_trace(opts, lines, batch)
+    };
     let nreqs = reqs.len();
     let mut fe = FrontEnd::new(system, serve_cfg);
 
@@ -321,8 +372,9 @@ pub fn run(opts: &Opts) {
         backoff_seed: 0x5E4E_5EED,
         quarantine_spare_frac: 0.5,
     };
-    let open = replay(opts, serve_cfg, batch, false);
-    let closed = replay(opts, serve_cfg, batch, true);
+    let open = replay(opts, serve_cfg, batch, false, false);
+    let closed = replay(opts, serve_cfg, batch, true, false);
+    let benign = replay(opts, serve_cfg, batch, false, true);
 
     let mut t = Table::new(
         &format!(
@@ -360,7 +412,7 @@ pub fn run(opts: &Opts) {
         _ => "healthy",
     };
     let mut totals: Vec<BankAcc> = Vec::new();
-    for (mode, r) in [("open", &open), ("closed", &closed)] {
+    for (mode, r) in [("open", &open), ("closed", &closed), ("benign", &benign)] {
         let mut total = BankAcc::default();
         for (b, a) in r.acc.iter().enumerate() {
             let mut lat = a.latencies.clone();
@@ -433,13 +485,17 @@ pub fn run(opts: &Opts) {
 
     println!(
         "\nopen loop: audited {} acknowledged last-writers, lost {}; \
-         closed loop: audited {}, lost {}, deferred {}, dropped {}",
+         closed loop: audited {}, lost {}, deferred {}, dropped {}; \
+         benign sharded workload: audited {}, lost {}, rejected {}",
         open.audited,
         open.lost_acked,
         closed.audited,
         closed.lost_acked,
         totals[1].deferred,
-        totals[1].dropped
+        totals[1].dropped,
+        benign.audited,
+        benign.lost_acked,
+        totals[2].rejected()
     );
 
     // The acceptance bars for this experiment: chaos must actually bite
@@ -470,5 +526,14 @@ pub fn run(opts: &Opts) {
         "closed loop did not reduce queue-full losses ({} vs {})",
         totals[1].rej_queue_full,
         totals[0].rej_queue_full
+    );
+    assert_eq!(
+        benign.lost_acked, 0,
+        "acknowledged writes must survive the benign sharded workload"
+    );
+    assert!(
+        totals[2].rej_queue_full == 0,
+        "benign sharded traffic should never overflow a queue ({} rejections)",
+        totals[2].rej_queue_full
     );
 }

@@ -32,7 +32,7 @@ pub use rbsg::{rbsg_raa_lifetime, rbsg_raa_writes, rbsg_rta_lifetime};
 pub use sr2::{sr2_raa_lifetime, sr2_rta_lifetime};
 pub use srbsg::{
     srbsg_bpa_lifetime, srbsg_bpa_lifetime_analytic, srbsg_raa_lifetime,
-    srbsg_raa_wear_distribution, srbsg_rta_lifetime, SrbsgParams,
+    srbsg_raa_wear_distribution, srbsg_raa_wear_profile, srbsg_rta_lifetime, SrbsgParams,
 };
 pub use trials::{
     rbsg_rta_lifetime_trials, sr2_raa_lifetime_trials, sr2_rta_lifetime_trials,

@@ -5,6 +5,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use srbsg_attacks::detection_margin;
 use srbsg_feistel::{AddressPermutation, FeistelNetwork};
+use srbsg_pcm::WearAccumulator;
 
 use crate::{Lifetime, PcmParams};
 
@@ -34,22 +35,25 @@ impl SrbsgParams {
     }
 }
 
-/// Round-level RAA engine.
+/// Where a stay's lap-sized deposits land.
 ///
-/// Per outer DFN round the hammered LA maps to `ENC_Kp(la)` until its
-/// remap point (≈ uniformly placed within the round) and `ENC_Kc(la)`
-/// after — two sub-region *stays* per round, with the keys drawn as real
-/// Feistel networks so any non-uniformity of few-stage networks shows up
-/// in the visit statistics. Within a stay, the inner Start-Gap parks the
-/// line on one slot per rotation lap (`(n_r+1)·ψ_in` writes) and then
-/// advances it to the next slot, so wear lands in runs of consecutive
-/// slots starting at the line's (key-random) entry slot. First-failure
-/// statistics are dominated by these lap-sized deposit quanta, which the
-/// engine preserves exactly.
-struct RaaEngine {
-    params: PcmParams,
-    cfg: SrbsgParams,
-    rng: SmallRng,
+/// The round engine owns the whole RNG stream (keys, flip point, parking,
+/// entry slots); a sink only receives fully determined deposits. A dense
+/// sink keeps the per-slot histogram and failure detection the lifetime
+/// engine needs; a streaming sink folds the identical write sequence into
+/// a fixed-size [`WearAccumulator`] so paper-scale distribution sweeps
+/// need O(regions) memory per worker instead of O(lines).
+trait StaySink {
+    /// Record `writes` hammer writes into `region`, in lap-sized quanta
+    /// over consecutive slots starting at slot `entry`. Returns the writes
+    /// actually deposited (a failing sink stops mid-stay) and whether the
+    /// bank has now failed.
+    fn stay(&mut self, region: u64, entry: u64, writes: u64) -> (u64, bool);
+}
+
+/// Dense per-slot wear with first-failure detection (the historical
+/// engine state).
+struct DenseSink {
     /// Hammer-deposit wear per slot; slot index = region * (n_r+1) + offset.
     wear: Vec<u32>,
     /// Inner gap-rotation background writes per sub-region (one write per
@@ -61,25 +65,152 @@ struct RaaEngine {
     /// `background` increment can push over the limit on a slot the
     /// current deposit never touched.
     region_peak: Vec<u32>,
+    /// Slots per sub-region (`n_r + 1`).
+    slots: u64,
+    /// Writes per inner rotation lap (`(n_r+1)·ψ_in`).
+    lap: u64,
+    endurance: u64,
+}
+
+impl DenseSink {
+    fn new(params: &PcmParams, cfg: &SrbsgParams) -> Self {
+        let n_r = params.lines / cfg.sub_regions;
+        let slots = n_r + 1;
+        Self {
+            wear: vec![0; (cfg.sub_regions * slots) as usize],
+            background: vec![0; cfg.sub_regions as usize],
+            region_peak: vec![0; cfg.sub_regions as usize],
+            slots,
+            lap: slots * cfg.inner_interval,
+            endurance: params.endurance,
+        }
+    }
+}
+
+impl StaySink for DenseSink {
+    fn stay(&mut self, region: u64, entry: u64, mut writes: u64) -> (u64, bool) {
+        let mut slot = entry;
+        let mut deposited = 0u64;
+        let mut failed = false;
+        while writes > 0 && !failed {
+            let deposit = writes.min(self.lap);
+            let idx = (region * self.slots + slot) as usize;
+            self.wear[idx] += deposit as u32;
+            deposited += deposit;
+            let peak = &mut self.region_peak[region as usize];
+            *peak = (*peak).max(self.wear[idx]);
+            if deposit == self.lap {
+                // A full lap of remap traffic rewrites one line per slot.
+                self.background[region as usize] += 1;
+            }
+            // First crossing anywhere in the region: the background
+            // increment applies to every slot, so the region's peak slot
+            // (not necessarily the one just written) decides failure.
+            if *peak as u64 + self.background[region as usize] as u64 >= self.endurance {
+                failed = true;
+            }
+            writes -= deposit;
+            slot = (slot + 1) % self.slots;
+        }
+        (deposited, failed)
+    }
+}
+
+/// Streaming sink: the same deposit sequence, folded in closed form into
+/// a [`WearAccumulator`] (O(1) ranges per stay instead of O(writes/lap)
+/// slot increments). Never fails — distribution sweeps accumulate past
+/// any endurance.
+struct StreamSink {
+    acc: WearAccumulator,
+    /// Slots per sub-region (`n_r + 1`).
+    slots: u64,
+    /// Writes per inner rotation lap (`(n_r+1)·ψ_in`).
+    lap: u64,
+}
+
+impl StaySink for StreamSink {
+    fn stay(&mut self, region: u64, entry: u64, writes: u64) -> (u64, bool) {
+        let base = region * self.slots;
+        // `f` full-lap quanta land on consecutive slots from `entry`
+        // (wrapping), then a remainder on the next slot. Each full lap
+        // also rewrites one line per slot of the region (background).
+        let f = writes / self.lap;
+        let rem = writes % self.lap;
+        let wraps = f / self.slots;
+        let leftover = f % self.slots;
+        // Every slot of the region: `wraps` full laps of hammer wear plus
+        // `f` background writes.
+        let region_wide = wraps * self.lap + f;
+        if region_wide > 0 {
+            self.acc.add_range(base, base + self.slots, region_wide);
+        }
+        if leftover > 0 {
+            let end = entry + leftover;
+            if end <= self.slots {
+                self.acc.add_range(base + entry, base + end, self.lap);
+            } else {
+                self.acc
+                    .add_range(base + entry, base + self.slots, self.lap);
+                self.acc
+                    .add_range(base, base + (end - self.slots), self.lap);
+            }
+        }
+        if rem > 0 {
+            self.acc.add(base + (entry + f) % self.slots, rem);
+        }
+        (writes, false)
+    }
+}
+
+/// Round-level RAA engine.
+///
+/// Per outer DFN round the hammered LA maps to `ENC_Kp(la)` until its
+/// remap point (≈ uniformly placed within the round) and `ENC_Kc(la)`
+/// after — two sub-region *stays* per round, with the keys drawn as real
+/// Feistel networks so any non-uniformity of few-stage networks shows up
+/// in the visit statistics. Within a stay, the inner Start-Gap parks the
+/// line on one slot per rotation lap (`(n_r+1)·ψ_in` writes) and then
+/// advances it to the next slot, so wear lands in runs of consecutive
+/// slots starting at the line's (key-random) entry slot. First-failure
+/// statistics are dominated by these lap-sized deposit quanta, which the
+/// engine preserves exactly. Generic over the [`StaySink`] so the
+/// lifetime (dense, failure-detecting) and distribution (streaming)
+/// engines consume one RNG stream and one deposit model.
+struct RaaCore<S: StaySink> {
+    params: PcmParams,
+    cfg: SrbsgParams,
+    rng: SmallRng,
+    sink: S,
     enc_p: FeistelNetwork,
     total_writes: u128,
     failed: bool,
     la: u64,
 }
 
+/// The historical lifetime engine: dense slots + failure detection.
+type RaaEngine = RaaCore<DenseSink>;
+
 impl RaaEngine {
     fn new(params: PcmParams, cfg: SrbsgParams, seed: u64) -> Self {
+        let sink = DenseSink::new(&params, &cfg);
+        Self::with_sink(params, cfg, seed, sink)
+    }
+
+    fn lifetime(mut self) -> Lifetime {
+        while self.round() {}
+        finish(&self.params, &self.cfg, self.total_writes)
+    }
+}
+
+impl<S: StaySink> RaaCore<S> {
+    fn with_sink(params: PcmParams, cfg: SrbsgParams, seed: u64, sink: S) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let enc_p = FeistelNetwork::random(&mut rng, params.width(), cfg.stages);
-        let n_r = params.lines / cfg.sub_regions;
-        let slots = (cfg.sub_regions * (n_r + 1)) as usize;
         Self {
             params,
             cfg,
             rng,
-            wear: vec![0; slots],
-            background: vec![0; cfg.sub_regions as usize],
-            region_peak: vec![0; cfg.sub_regions as usize],
+            sink,
             enc_p,
             total_writes: 0,
             failed: false,
@@ -93,32 +224,17 @@ impl RaaEngine {
 
     /// Deposit `writes` hammer writes into `region`, spreading them in
     /// lap-sized quanta over consecutive slots from a random entry point.
-    fn deposit_stay(&mut self, region: u64, mut writes: u64) {
-        let n_r = self.n_r();
-        let slots = n_r + 1;
-        let lap = slots * self.cfg.inner_interval;
-        let mut slot = self.rng.random_range(0..slots);
-        let e = self.params.endurance;
-        while writes > 0 && !self.failed {
-            let deposit = writes.min(lap);
-            let idx = (region * slots + slot) as usize;
-            self.wear[idx] += deposit as u32;
-            self.total_writes += deposit as u128;
-            let peak = &mut self.region_peak[region as usize];
-            *peak = (*peak).max(self.wear[idx]);
-            if deposit == lap {
-                // A full lap of remap traffic rewrites one line per slot.
-                self.background[region as usize] += 1;
-            }
-            // First crossing anywhere in the region: the background
-            // increment applies to every slot, so the region's peak slot
-            // (not necessarily the one just written) decides failure.
-            if *peak as u64 + self.background[region as usize] as u64 >= e {
-                self.failed = true;
-            }
-            writes -= deposit;
-            slot = (slot + 1) % slots;
+    /// The entry draw happens unconditionally (even on a failed bank) so
+    /// every sink sees the identical RNG stream.
+    fn deposit_stay(&mut self, region: u64, writes: u64) {
+        let slots = self.n_r() + 1;
+        let entry = self.rng.random_range(0..slots);
+        if self.failed {
+            return;
         }
+        let (deposited, failed) = self.sink.stay(region, entry, writes);
+        self.total_writes += deposited as u128;
+        self.failed |= failed;
     }
 
     /// Advance one outer DFN round; returns false once the bank failed.
@@ -155,11 +271,6 @@ impl RaaEngine {
         self.enc_p = enc_c;
         !self.failed
     }
-
-    fn lifetime(mut self) -> Lifetime {
-        while self.round() {}
-        finish(&self.params, &self.cfg, self.total_writes)
-    }
 }
 
 /// Convert a write count into a [`Lifetime`] with the scheme's amortized
@@ -194,19 +305,50 @@ pub fn srbsg_raa_wear_distribution(
 ) -> Vec<u64> {
     let mut eng = RaaEngine::new(*params, *cfg, seed);
     // Disable failure so the distribution keeps accumulating.
-    let saved_e = eng.params.endurance;
-    eng.params.endurance = u64::MAX;
+    eng.sink.endurance = u64::MAX;
     while eng.total_writes < total_writes {
         eng.round();
     }
-    eng.params.endurance = saved_e;
     let n_r = params.lines / cfg.sub_regions;
     let slots = n_r + 1;
-    eng.wear
+    eng.sink
+        .wear
         .iter()
         .enumerate()
-        .map(|(i, &w)| w as u64 + eng.background[i / slots as usize] as u64)
+        .map(|(i, &w)| w as u64 + eng.sink.background[i / slots as usize] as u64)
         .collect()
+}
+
+/// Streaming variant of [`srbsg_raa_wear_distribution`]: the identical
+/// RNG stream and deposit sequence, folded into a fixed-size
+/// [`WearAccumulator`] (`points` curve positions, at most `max_regions`
+/// Gini regions) instead of a dense per-slot `Vec`.
+///
+/// The returned accumulator's [`WearAccumulator::curve`] is bit-identical
+/// to `normalized_cumulative_wear(&srbsg_raa_wear_distribution(..), points)`;
+/// peak memory is O(points + max_regions) regardless of the platform's
+/// line count, which is what lets the Fig. 16 sweep fan out across
+/// workers past 2²² lines.
+pub fn srbsg_raa_wear_profile(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    total_writes: u128,
+    seed: u64,
+    points: usize,
+    max_regions: u64,
+) -> WearAccumulator {
+    let n_r = params.lines / cfg.sub_regions;
+    let slots = n_r + 1;
+    let sink = StreamSink {
+        acc: WearAccumulator::new(cfg.sub_regions * slots, points, max_regions),
+        slots,
+        lap: slots * cfg.inner_interval,
+    };
+    let mut eng = RaaCore::with_sink(*params, *cfg, seed, sink);
+    while eng.total_writes < total_writes {
+        eng.round();
+    }
+    eng.sink.acc
 }
 
 /// BPA lifetime of Security RBSG (Fig. 14).
@@ -326,7 +468,9 @@ mod tests {
         // region 0 touches (the entry slot is an RNG draw).
         let mut scout = RaaEngine::new(params, cfg, 0);
         scout.deposit_stay(0, 2 * lap);
-        let touched: Vec<u64> = (0..slots).filter(|&s| scout.wear[s as usize] > 0).collect();
+        let touched: Vec<u64> = (0..slots)
+            .filter(|&s| scout.sink.wear[s as usize] > 0)
+            .collect();
         assert_eq!(touched.len(), 2, "two full laps touch two slots");
 
         // Fresh engine, same seed → same RNG stream → same entry slot.
@@ -334,8 +478,8 @@ mod tests {
         // lap's background increment pushes it to E.
         let mut eng = RaaEngine::new(params, cfg, 0);
         let victim = (0..slots).find(|s| !touched.contains(s)).unwrap();
-        eng.wear[victim as usize] = (params.endurance - 1) as u32;
-        eng.region_peak[0] = (params.endurance - 1) as u32;
+        eng.sink.wear[victim as usize] = (params.endurance - 1) as u32;
+        eng.sink.region_peak[0] = (params.endurance - 1) as u32;
         eng.deposit_stay(0, 2 * lap);
         assert!(
             eng.failed,
@@ -456,6 +600,88 @@ mod tests {
         assert!(
             (0.5..2.0).contains(&ratio),
             "analytic {analytic} vs engine {engine} (ratio {ratio})"
+        );
+    }
+
+    /// The streaming sink's closed-form stay must reproduce the dense
+    /// sink's slot-by-slot loop exactly, including multi-wrap stays and
+    /// background accounting.
+    #[test]
+    fn stream_sink_stay_equals_dense_sink_stay() {
+        let params = PcmParams::small(8, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let n_r = params.lines / cfg.sub_regions;
+        let slots = n_r + 1;
+        let lap = slots * cfg.inner_interval;
+        let total_slots = cfg.sub_regions * slots;
+
+        let mut dense = DenseSink::new(&params, &cfg);
+        let mut stream = StreamSink {
+            acc: srbsg_pcm::WearAccumulator::new(total_slots, 16, total_slots),
+            slots,
+            lap,
+        };
+        // Stays covering: zero, sub-lap remainder, exact laps, wrap within
+        // the region, and multiple full wraps of the region.
+        let stays = [
+            (0u64, 0u64, 0u64),
+            (0, 3, lap / 2 + 1),
+            (1, slots - 1, 3 * lap),
+            (2, slots - 2, slots * lap + 7),
+            (3, 5, 3 * slots * lap + 2 * lap + 11),
+        ];
+        let mut expect_dense: u128 = 0;
+        for &(region, entry, writes) in &stays {
+            let (dep_d, fail_d) = dense.stay(region, entry, writes);
+            let (dep_s, fail_s) = stream.stay(region, entry, writes);
+            assert_eq!(dep_d, dep_s);
+            assert!(!fail_d && !fail_s);
+            expect_dense += writes as u128;
+        }
+        let final_dense: Vec<u64> = dense
+            .wear
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w as u64 + dense.background[i / slots as usize] as u64)
+            .collect();
+        // Background writes are extra traffic on top of hammer deposits.
+        let bg: u128 = dense
+            .background
+            .iter()
+            .map(|&b| b as u128 * slots as u128)
+            .sum();
+        assert_eq!(stream.acc.total(), expect_dense + bg);
+        let rebuilt = srbsg_pcm::WearAccumulator::from_wear(&final_dense, 16, total_slots);
+        assert_eq!(stream.acc, rebuilt);
+    }
+
+    /// End to end: the streaming profile consumes the same RNG stream as
+    /// the dense distribution and yields a bit-identical Fig. 16 curve.
+    #[test]
+    fn streaming_profile_matches_dense_distribution() {
+        let params = PcmParams::small(10, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let points = 20;
+        let total = 1u128 << 22;
+        let dense = srbsg_raa_wear_distribution(&params, &cfg, total, 9);
+        let slots_total = dense.len() as u64;
+        // Unit-width regions so even the Gini matches the dense scalar.
+        let profile = srbsg_raa_wear_profile(&params, &cfg, total, 9, points, slots_total);
+        assert_eq!(
+            profile.curve(),
+            srbsg_pcm::normalized_cumulative_wear(&dense, points)
+        );
+        assert_eq!(
+            profile.total(),
+            dense.iter().map(|&w| w as u128).sum::<u128>()
+        );
+        assert!((profile.region_gini() - srbsg_pcm::gini_coefficient(&dense)).abs() < 1e-12);
+        // The production configuration (coarse regions) keeps the curve
+        // identical; only the Gini granularity changes.
+        let coarse = srbsg_raa_wear_profile(&params, &cfg, total, 9, points, 256);
+        assert_eq!(
+            coarse.curve(),
+            srbsg_pcm::normalized_cumulative_wear(&dense, points)
         );
     }
 

@@ -98,6 +98,81 @@ where
         .collect()
 }
 
+/// Map `f` over `items` on up to `jobs` workers and fold the results
+/// **in item order** into `init` — without materializing the whole result
+/// vector first.
+///
+/// Same determinism contract as [`par_map`]: for any `jobs >= 1` the
+/// returned accumulator is identical to
+/// `items.into_iter().map(f).fold(init, fold)`. The collector stashes
+/// results that arrive ahead of order and folds each one as soon as its
+/// predecessors are in, so peak buffering is bounded by how far workers
+/// run ahead (≤ in-flight items), not by `items.len()` — the property the
+/// sharded trace runner relies on to merge per-bank wear accumulators
+/// without holding one per bank alive simultaneously.
+pub fn par_fold<T, R, A, F, G>(items: Vec<T>, jobs: usize, f: F, init: A, mut fold: G) -> A
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    let jobs = jobs.max(1);
+    let n = items.len();
+    if jobs == 1 || n <= 1 {
+        return items.into_iter().map(f).fold(init, fold);
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    // Option dance: the fold consumes and re-produces the accumulator
+    // inside the scope closure.
+    let mut acc = Some(init);
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        let handles: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                let tx = tx.clone();
+                let (next, work, f) = (&next, &work, &f);
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("work item claimed twice");
+                    let r = f(item);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        // Fold strictly in item order: out-of-order arrivals wait in the
+        // stash until their predecessors have been folded.
+        let mut stash: std::collections::BTreeMap<usize, R> = std::collections::BTreeMap::new();
+        let mut next_fold = 0usize;
+        for (i, r) in rx {
+            stash.insert(i, r);
+            while let Some(r) = stash.remove(&next_fold) {
+                let a = acc.take().expect("accumulator in flight");
+                acc = Some(fold(a, r));
+                next_fold += 1;
+            }
+        }
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        assert_eq!(next_fold, n, "worker dropped a result");
+    });
+    acc.expect("fold completed")
+}
+
 /// Run a batch of heterogeneous closures on up to `jobs` workers,
 /// returning their results in task order. Convenience wrapper over
 /// [`par_map`] for call sites whose work items do not share one type
@@ -168,6 +243,64 @@ mod tests {
             Box::new(|| "c".repeat(3)),
         ];
         assert_eq!(par_run(tasks, 2), vec!["a", "42", "ccc"]);
+    }
+
+    #[test]
+    fn par_fold_matches_serial_fold_for_any_job_count() {
+        let items: Vec<u64> = (0..311).collect();
+        // Non-commutative fold (string concatenation) so any ordering slip
+        // shows up immediately.
+        let serial = items
+            .iter()
+            .map(|&x| x * 3 + 1)
+            .fold(String::new(), |mut a, r| {
+                a.push_str(&r.to_string());
+                a.push(',');
+                a
+            });
+        for jobs in [1, 2, 3, 4, 8, 32] {
+            let out = par_fold(
+                items.clone(),
+                jobs,
+                |x| x * 3 + 1,
+                String::new(),
+                |mut a, r| {
+                    a.push_str(&r.to_string());
+                    a.push(',');
+                    a
+                },
+            );
+            assert_eq!(out, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn par_fold_handles_empty_and_singleton() {
+        assert_eq!(
+            par_fold(Vec::<u8>::new(), 4, |x| x, 9u32, |a, r| a + r as u32),
+            9
+        );
+        assert_eq!(
+            par_fold(vec![5u8], 4, |x| x * 2, 1u32, |a, r| a + r as u32),
+            11
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fold boom")]
+    fn par_fold_worker_panic_propagates() {
+        par_fold(
+            (0..64u64).collect(),
+            4,
+            |x| {
+                if x == 40 {
+                    panic!("fold boom");
+                }
+                x
+            },
+            0u64,
+            |a, r| a + r,
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub use buffered::BufferedController;
 pub use controller::{MemoryController, WriteResponse};
 pub use faults::{DegradationReport, FaultConfig, PcmError};
 pub use multibank::{MultiBankSystem, SystemDegradationReport};
-pub use stats::{gini_coefficient, normalized_cumulative_wear, FaultStats, WearSummary};
+pub use stats::{
+    gini_coefficient, normalized_cumulative_wear, FaultStats, WearAccumulator, WearSummary,
+};
 pub use timing::TimingModel;
 
 /// A logical or intermediate line address.

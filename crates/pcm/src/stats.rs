@@ -92,6 +92,186 @@ pub fn gini_coefficient(wear: &[u64]) -> f64 {
     (2.0 * weighted as f64) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 
+/// Streaming replacement for the dense per-line wear `Vec` behind Fig. 16.
+///
+/// Holds two fixed-size digests of a wear distribution over `lines`
+/// addresses, updatable in O(ranges touched) per deposit and mergeable
+/// across shards:
+///
+/// * **curve segments** — one `u128` sum per x-position of the normalized
+///   cumulative-wear curve, with segment boundaries chosen exactly as
+///   [`normalized_cumulative_wear`] chooses them (`lines·p/points`), so
+///   [`WearAccumulator::curve`] is bit-identical to the dense computation;
+/// * **region sums** — `u128` totals over equal-width address regions,
+///   from which [`WearAccumulator::region_gini`] computes an exact Gini
+///   coefficient *of the region sums* (a lower bound on the per-line Gini:
+///   averaging within regions can only even the distribution out).
+///
+/// Memory is O(points + regions) regardless of `lines`, which is what lets
+/// the Fig. 16 sweep run past 2²² lines with many workers in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearAccumulator {
+    lines: u64,
+    /// Exclusive upper address bound of each curve segment;
+    /// `bounds[points-1] == lines`.
+    bounds: Vec<u64>,
+    /// Wear landed in each curve segment.
+    segments: Vec<u128>,
+    /// Address width of each Gini region (the last region may be shorter
+    /// when `lines` is not a multiple).
+    region_width: u64,
+    /// Wear landed in each Gini region.
+    regions: Vec<u128>,
+    total: u128,
+}
+
+impl WearAccumulator {
+    /// Empty accumulator over `lines` addresses, with `points` curve
+    /// x-positions and at most `max_regions` Gini regions.
+    pub fn new(lines: u64, points: usize, max_regions: u64) -> Self {
+        assert!(lines > 0 && points >= 1 && max_regions >= 1);
+        let bounds: Vec<u64> = (1..=points)
+            .map(|p| (lines as u128 * p as u128 / points as u128) as u64)
+            .collect();
+        let region_width = lines.div_ceil(max_regions);
+        let n_regions = lines.div_ceil(region_width) as usize;
+        Self {
+            lines,
+            bounds,
+            segments: vec![0; points],
+            region_width,
+            regions: vec![0; n_regions],
+            total: 0,
+        }
+    }
+
+    /// Ingest a dense wear slice (convenience for tests and for merging a
+    /// bank's device histogram at global offset `offset`).
+    pub fn add_slice(&mut self, offset: u64, wear: &[u64]) {
+        for (i, &w) in wear.iter().enumerate() {
+            if w > 0 {
+                self.add(offset + i as u64, w);
+            }
+        }
+    }
+
+    /// Build directly from a dense wear slice.
+    pub fn from_wear(wear: &[u64], points: usize, max_regions: u64) -> Self {
+        let mut acc = Self::new(wear.len() as u64, points, max_regions);
+        acc.add_slice(0, wear);
+        acc
+    }
+
+    /// Curve segment containing address `idx`.
+    #[inline]
+    fn segment_of(&self, idx: u64) -> usize {
+        self.bounds.partition_point(|&b| b <= idx)
+    }
+
+    /// Deposit `amount` wear on one address.
+    pub fn add(&mut self, idx: u64, amount: u64) {
+        assert!(idx < self.lines, "address {idx} out of {}", self.lines);
+        let seg = self.segment_of(idx);
+        self.segments[seg] += amount as u128;
+        self.regions[(idx / self.region_width) as usize] += amount as u128;
+        self.total += amount as u128;
+    }
+
+    /// Deposit `per_line` wear on every address in `start..end` (no
+    /// wraparound; callers split wrapped runs).
+    pub fn add_range(&mut self, start: u64, end: u64, per_line: u64) {
+        assert!(start <= end && end <= self.lines, "range {start}..{end}");
+        if start == end || per_line == 0 {
+            return;
+        }
+        let per = per_line as u128;
+        // Curve segments overlapped by the run.
+        let mut s = self.segment_of(start);
+        let mut lo = start;
+        while lo < end {
+            let hi = end.min(self.bounds[s]);
+            self.segments[s] += (hi - lo) as u128 * per;
+            lo = hi;
+            s += 1;
+        }
+        // Gini regions overlapped by the run.
+        let mut r = (start / self.region_width) as usize;
+        let mut lo = start;
+        while lo < end {
+            let hi = end.min(((r as u64 + 1) * self.region_width).min(self.lines));
+            self.regions[r] += (hi - lo) as u128 * per;
+            lo = hi;
+            r += 1;
+        }
+        self.total += (end - start) as u128 * per;
+    }
+
+    /// Fold another shard's accumulator into this one. Both must have been
+    /// built with the same `lines`, `points`, and `max_regions`.
+    pub fn merge(&mut self, other: &WearAccumulator) {
+        assert_eq!(self.lines, other.lines, "accumulator shape mismatch");
+        assert_eq!(self.bounds, other.bounds, "accumulator shape mismatch");
+        assert_eq!(
+            self.region_width, other.region_width,
+            "accumulator shape mismatch"
+        );
+        for (a, b) in self.segments.iter_mut().zip(&other.segments) {
+            *a += b;
+        }
+        for (a, b) in self.regions.iter_mut().zip(&other.regions) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Addresses covered.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Total wear deposited.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// The normalized cumulative-wear curve — bit-identical to
+    /// [`normalized_cumulative_wear`] over the equivalent dense vector,
+    /// because segment boundaries match its integer-division boundaries and
+    /// `u128` partial sums are exact.
+    pub fn curve(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.segments.len()];
+        }
+        let mut acc: u128 = 0;
+        self.segments
+            .iter()
+            .map(|&s| {
+                acc += s;
+                acc as f64 / self.total as f64
+            })
+            .collect()
+    }
+
+    /// Exact Gini coefficient of the per-region wear sums (0 = even,
+    /// → 1 = concentrated). A lower bound on the per-line Gini; with
+    /// `max_regions >= lines` (one address per region) it equals
+    /// [`gini_coefficient`] exactly.
+    pub fn region_gini(&self) -> f64 {
+        let n = self.regions.len();
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut sorted = self.regions.clone();
+        sorted.sort_unstable();
+        let weighted: u128 = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as u128 + 1) * w)
+            .sum();
+        (2.0 * weighted as f64) / (n as f64 * self.total as f64) - (n as f64 + 1.0) / n as f64
+    }
+}
+
 /// Counters kept by the fault-injection machinery (see [`crate::FaultConfig`]):
 /// how often writes failed transiently, how much verify-retry work the
 /// controller performed, and how far the graceful-degradation ladder
@@ -182,6 +362,85 @@ mod tests {
         wear[0] = 100;
         let curve = normalized_cumulative_wear(&wear, 5);
         assert!(curve.iter().all(|&y| (y - 1.0).abs() < 1e-12));
+    }
+
+    /// Deterministic xorshift so accumulator tests need no RNG dep.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn accumulator_curve_matches_dense_bit_for_bit() {
+        // Awkward sizes on purpose: lines not divisible by points or by
+        // the region count.
+        for (lines, points, max_regions) in [(1000u64, 7usize, 13u64), (97, 20, 8), (64, 64, 64)] {
+            let mut st = 0x1234_5678_9ABC_DEF0u64 ^ lines;
+            let wear: Vec<u64> = (0..lines).map(|_| xorshift(&mut st) % 1000).collect();
+            let acc = WearAccumulator::from_wear(&wear, points, max_regions);
+            let dense = normalized_cumulative_wear(&wear, points);
+            assert_eq!(acc.curve(), dense, "lines={lines} points={points}");
+            assert_eq!(acc.total(), wear.iter().map(|&w| w as u128).sum::<u128>());
+        }
+    }
+
+    #[test]
+    fn accumulator_gini_with_unit_regions_matches_dense() {
+        let mut st = 42u64;
+        let wear: Vec<u64> = (0..256).map(|_| xorshift(&mut st) % 500).collect();
+        let acc = WearAccumulator::from_wear(&wear, 10, wear.len() as u64);
+        let g = gini_coefficient(&wear);
+        assert!((acc.region_gini() - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_region_gini_lower_bounds_dense() {
+        let mut wear = vec![0u64; 128];
+        wear[3] = 1_000; // point mass: coarse regions smear it
+        wear[77] = 500;
+        let dense = gini_coefficient(&wear);
+        let coarse = WearAccumulator::from_wear(&wear, 10, 8).region_gini();
+        assert!(coarse <= dense + 1e-12, "coarse {coarse} vs dense {dense}");
+        assert!(coarse > 0.5, "still detects concentration: {coarse}");
+    }
+
+    #[test]
+    fn accumulator_add_range_equals_per_line_adds() {
+        let lines = 300u64;
+        let mut a = WearAccumulator::new(lines, 9, 11);
+        let mut b = WearAccumulator::new(lines, 9, 11);
+        for (start, end, per) in [(0u64, 300u64, 3u64), (17, 143, 7), (250, 300, 1), (5, 5, 9)] {
+            a.add_range(start, end, per);
+            for i in start..end {
+                b.add(i, per);
+            }
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_concatenated_build() {
+        let mut st = 7u64;
+        let wear: Vec<u64> = (0..500).map(|_| xorshift(&mut st) % 100).collect();
+        let whole = WearAccumulator::from_wear(&wear, 12, 10);
+        let mut merged = WearAccumulator::new(500, 12, 10);
+        for (k, chunk) in wear.chunks(123).enumerate() {
+            let mut shard = WearAccumulator::new(500, 12, 10);
+            shard.add_slice(123 * k as u64, chunk);
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.curve(), whole.curve());
+    }
+
+    #[test]
+    fn empty_accumulator_is_flat() {
+        let acc = WearAccumulator::new(64, 8, 8);
+        assert_eq!(acc.curve(), vec![0.0; 8]);
+        assert_eq!(acc.region_gini(), 0.0);
+        assert_eq!(acc.total(), 0);
     }
 
     #[test]

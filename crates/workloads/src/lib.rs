@@ -18,9 +18,13 @@
 //! observation that their IPC does not degrade at all.
 
 mod profiles;
+mod runner;
+mod shard;
 mod zipf;
 
 pub use profiles::{parsec_suite, spec_suite, BenchProfile};
+pub use runner::{ShardOutcome, ShardedRunReport, ShardedTraceRunner};
+pub use shard::{shard_seed, splitmix64, AnyTrace, WorkloadSpec};
 pub use zipf::Zipf;
 
 use rand::rngs::SmallRng;

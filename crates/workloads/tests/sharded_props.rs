@@ -1,0 +1,71 @@
+//! Property: the bank-sharded runner's full report — per-bank outcomes,
+//! merged wear accumulator, and the system degradation report — is
+//! bit-identical to the serial round-robin reference drive, across random
+//! workload shapes, bank counts, endurances, and worker counts.
+
+use proptest::prelude::*;
+use srbsg_pcm::{MultiBankSystem, TimingModel};
+use srbsg_wearlevel::StartGap;
+use srbsg_workloads::{ShardedTraceRunner, WorkloadSpec};
+
+fn spec_for(kind: u8, stride: u64, write_ratio: f64, mean_gap: u64) -> WorkloadSpec {
+    match kind % 4 {
+        0 => WorkloadSpec::Uniform {
+            write_ratio,
+            mean_gap,
+        },
+        1 => WorkloadSpec::Sequential {
+            write_ratio,
+            mean_gap,
+        },
+        2 => WorkloadSpec::Strided {
+            stride,
+            write_ratio,
+            mean_gap,
+        },
+        _ => WorkloadSpec::Zipf {
+            s: 0.8 + (stride % 7) as f64 * 0.1,
+            write_ratio,
+            mean_gap,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_run_is_bit_identical_to_sequential(
+        kind in 0u8..4,
+        stride in 1u64..64,
+        write_ratio in 0.1f64..1.0,
+        mean_gap in 0u64..100,
+        banks in 1usize..=4,
+        // Low endurances make some banks fail mid-run, exercising the
+        // early-stop path; high ones exercise the full-budget path.
+        endurance in prop_oneof![Just(800u64), Just(5_000u64), Just(1u64 << 40)],
+        master in any::<u64>(),
+        events in 500u64..3_000,
+    ) {
+        let spec = spec_for(kind, stride, write_ratio, mean_gap);
+        let runner = ShardedTraceRunner {
+            master_seed: master,
+            events_per_bank: events,
+            curve_points: 12,
+            max_regions: 32,
+        };
+        let make = |_bank: usize, lines: u64, seed: u64| spec.build(lines, seed);
+        let build = || MultiBankSystem::new(
+            (0..banks).map(|_| StartGap::start_gap(1 << 7, 8)).collect(),
+            endurance,
+            TimingModel::PAPER,
+        );
+        let mut reference = build();
+        let expected = runner.run_sequential(&mut reference, &make);
+        for jobs in [1usize, 2, 4] {
+            let mut sys = build();
+            let got = runner.run(&mut sys, &make, jobs);
+            prop_assert_eq!(&got, &expected, "jobs={}", jobs);
+        }
+    }
+}
