@@ -4,14 +4,24 @@
 //! For every scheme, the sweep plants crashes at chosen points of the
 //! write-ahead journal in every supported manner — a torn `Step` record,
 //! a recorded-but-unapplied step, a half-applied swap, an applied step
-//! missing its commit marker, and a quiet-point crash a few demand writes
-//! after a clean commit. Each trial then recovers from exactly the bytes
-//! and lines that survived, and checks the full contract:
+//! missing its commit marker, a quiet-point crash a few demand writes
+//! after a clean commit, and three crashes inside a checkpoint
+//! installation (torn snapshot, torn active-marker flip, and
+//! snapshot-written-journal-not-truncated). Every crashing run carries a
+//! `CheckpointPolicy` bounding the journal, so each trial also checks the
+//! recovery-time SLO (`replayed <= max(K, 2)` steps). Each trial recovers
+//! from exactly the bytes and lines that survived, and checks the full
+//! contract:
 //!
 //! * recovery succeeds and the recovered mapping is a bijection,
 //! * every write acknowledged before the crash reads back,
 //! * continuing the interrupted trace ends byte-identical to a run that
-//!   never crashed.
+//!   never crashed,
+//! * the recovery replayed no more steps than the policy's SLO allows.
+//!
+//! A second sweep varies K for re-keyed Security RBSG and writes the
+//! aggregate trade-off (journal footprint vs. replay cost) to
+//! `results/crash_checkpoint.csv`.
 //!
 //! Security RBSG appears twice: once with plain recovery (showing that an
 //! attacker's pre-crash knowledge of the mapping survives a power cycle —
@@ -29,17 +39,26 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
 use srbsg_pcm::{LineData, MemoryController, PcmError, TimingModel};
-use srbsg_persist::{write_crashable, CrashMode, CrashPlan, Journaled, JournaledScheme};
+use srbsg_persist::{
+    write_crashable, CheckpointPolicy, CrashMode, CrashPlan, Journaled, JournaledScheme,
+};
 use srbsg_wearlevel::{MultiWaySr, Rbsg, SecurityRefresh, StartGap, TwoLevelSr};
 use std::collections::{HashMap, HashSet};
 
-const MODES: [CrashMode; 5] = [
+const MODES: [CrashMode; 8] = [
     CrashMode::TornRecord,
     CrashMode::RecordedNotApplied,
     CrashMode::HalfApplied,
     CrashMode::AppliedNoMarker,
     CrashMode::AfterCommit { extra_writes: 2 },
+    CrashMode::CheckpointTornSnapshot,
+    CrashMode::CheckpointTornMarker,
+    CrashMode::CheckpointNotTruncated,
 ];
+
+/// The checkpoint step bound K armed for the main sweep (the dedicated
+/// K-sweep below varies it).
+const SWEEP_K: u64 = 8;
 
 fn mode_name(mode: CrashMode) -> &'static str {
     match mode {
@@ -48,6 +67,9 @@ fn mode_name(mode: CrashMode) -> &'static str {
         CrashMode::HalfApplied => "half_applied",
         CrashMode::AppliedNoMarker => "applied_no_marker",
         CrashMode::AfterCommit { .. } => "after_commit",
+        CrashMode::CheckpointTornSnapshot => "ckpt_torn_snapshot",
+        CrashMode::CheckpointTornMarker => "ckpt_torn_marker",
+        CrashMode::CheckpointNotTruncated => "ckpt_not_truncated",
     }
 }
 
@@ -95,13 +117,15 @@ fn kind_lines(kind: Kind) -> u64 {
     }
 }
 
-/// One crash trial: scheme × trace seed × crash point × crash mode.
+/// One crash trial: scheme × trace seed × crash point × crash mode, with
+/// a checkpoint policy of "every `k` steps" armed on the crashing run.
 #[derive(Debug, Clone, Copy)]
 struct Spec {
     kind: Kind,
     seed: u64,
     at_step: u64,
     mode: CrashMode,
+    k: u64,
 }
 
 /// What one trial measured. `None` fields never happen: any contract
@@ -117,6 +141,19 @@ struct Outcome {
     redone_ops: u64,
     reseeded: bool,
     rekey_moves: u64,
+    /// Stale-prefix `Step` records skipped (journal older than the
+    /// snapshot — the not-truncated checkpoint crash).
+    skipped: u64,
+    /// Journal bytes the surviving store held at recovery.
+    journal_bytes: u64,
+    /// Bytes of the snapshot recovery restored from.
+    snap_bytes: u64,
+    /// Whether recovery fell back to slot inspection (torn marker).
+    fallback: bool,
+    /// Checkpoints the crashing run had fully installed before power died.
+    ckpts: u64,
+    /// Whether the recovery met the policy's SLO: `replayed <= max(k, 2)`.
+    slo_ok: bool,
     acked: u64,
     lost_acked: u64,
     /// Fraction of the attacker's pre-crash LA → PA table still valid
@@ -177,6 +214,7 @@ fn run_one<W: JournaledScheme>(
     mk: &dyn Fn() -> W,
     writes: &[(u64, LineData)],
     plan: CrashPlan,
+    policy: CheckpointPolicy,
     rekey_seed: Option<u64>,
     mid_round: &dyn Fn(&W) -> bool,
 ) -> Option<Outcome> {
@@ -185,7 +223,11 @@ fn run_one<W: JournaledScheme>(
         reference.write(la, data);
     }
 
-    let mut mc = fresh(mk);
+    let mut mc = MemoryController::new(
+        Journaled::with_policy(mk(), policy),
+        u64::MAX,
+        TimingModel::PAPER,
+    );
     mc.scheme_mut().set_crash_plan(plan);
     let lines = mc.logical_lines();
     let mut acked: HashMap<u64, LineData> = HashMap::new();
@@ -208,12 +250,16 @@ fn run_one<W: JournaledScheme>(
     let learned: Vec<u64> = (0..lines).map(|la| mc.translate(la)).collect();
 
     let (jw, mut bank) = mc.into_parts();
+    let ckpts = jw.checkpoints_installed();
     let store = jw.into_store();
     let (jw2, report) = match rekey_seed {
-        Some(seed) => Journaled::<W>::recover_rekeyed(&store, &mut bank, seed),
-        None => Journaled::<W>::recover(&store, &mut bank),
+        Some(seed) => Journaled::<W>::recover_rekeyed_with_policy(&store, &mut bank, seed, policy),
+        None => Journaled::<W>::recover_with_policy(&store, &mut bank, policy),
     }
     .unwrap_or_else(|e| panic!("recovery failed under {plan:?}: {e}"));
+    let slo_ok = policy
+        .slo_steps()
+        .is_none_or(|slo| report.replayed_steps <= slo);
     let mut mc = MemoryController::from_bank(jw2, bank);
 
     let mut seen = HashSet::new();
@@ -251,6 +297,12 @@ fn run_one<W: JournaledScheme>(
         redone_ops: report.redone_ops,
         reseeded: report.reseeded,
         rekey_moves: report.rekey_movements,
+        skipped: report.skipped_steps,
+        journal_bytes: report.journal_bytes,
+        snap_bytes: report.snapshot_bytes,
+        fallback: report.marker_fallback,
+        ckpts,
+        slo_ok,
         acked: acked.len() as u64,
         lost_acked,
         overlap,
@@ -264,6 +316,7 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
         at_step: spec.at_step,
         mode: spec.mode,
     };
+    let policy = CheckpointPolicy::every_steps(spec.k);
     let srbsg = move || {
         let mut cfg = SecurityRbsgConfig::small(4, 2);
         cfg.seed = spec.seed ^ 0x99;
@@ -271,9 +324,14 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
     };
     let dfn_mid = |s: &SecurityRbsg| s.dfn().parked().is_some();
     match spec.kind {
-        Kind::StartGap => run_one(&|| StartGap::start_gap(16, 3), &writes, plan, None, &|_| {
-            false
-        }),
+        Kind::StartGap => run_one(
+            &|| StartGap::start_gap(16, 3),
+            &writes,
+            plan,
+            policy,
+            None,
+            &|_| false,
+        ),
         Kind::Rbsg => run_one(
             &|| {
                 let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xA5);
@@ -281,6 +339,7 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
             },
             &writes,
             plan,
+            policy,
             None,
             &|_| false,
         ),
@@ -288,6 +347,7 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
             &|| SecurityRefresh::new(32, 4, 3, spec.seed ^ 0x51),
             &writes,
             plan,
+            policy,
             None,
             &|_| false,
         ),
@@ -295,6 +355,7 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
             &|| TwoLevelSr::new(32, 4, 3, 6, spec.seed ^ 0x2D),
             &writes,
             plan,
+            policy,
             None,
             &|_| false,
         ),
@@ -302,14 +363,16 @@ fn dispatch(spec: Spec, n: usize) -> Option<Outcome> {
             &|| MultiWaySr::new(32, 4, 3, 6, spec.seed ^ 0x3E),
             &writes,
             plan,
+            policy,
             None,
             &|_| false,
         ),
-        Kind::SecurityRbsg => run_one(&srbsg, &writes, plan, None, &dfn_mid),
+        Kind::SecurityRbsg => run_one(&srbsg, &writes, plan, policy, None, &dfn_mid),
         Kind::SecurityRbsgRekey => run_one(
             &srbsg,
             &writes,
             plan,
+            policy,
             Some(0xF5E5 ^ (spec.seed << 16) ^ spec.at_step),
             &dfn_mid,
         ),
@@ -381,6 +444,7 @@ pub fn run(opts: &Opts) {
                         seed,
                         at_step,
                         mode,
+                        k: SWEEP_K,
                     });
                 }
             }
@@ -401,11 +465,18 @@ pub fn run(opts: &Opts) {
             "seed",
             "at_step",
             "mode",
+            "k",
             "crash_write",
             "mid_round",
             "replayed",
+            "skipped",
             "torn_bytes",
+            "journal_bytes",
+            "snap_bytes",
             "redone_ops",
+            "ckpts",
+            "fallback",
+            "slo_ok",
             "reseeded",
             "rekey_moves",
             "acked",
@@ -426,6 +497,10 @@ pub fn run(opts: &Opts) {
     let mut rekey_overlap_n = 0u64;
     let mut plain_quiet_overlap_ok = true;
     let mut all_equivalent = true;
+    let mut ckpt_fired = 0u64;
+    let mut fallback_seen = 0u64;
+    let mut skipped_seen = 0u64;
+    let mut all_slo_ok = true;
 
     for (spec, out) in &results {
         let Some(out) = out else { continue };
@@ -434,11 +509,20 @@ pub fn run(opts: &Opts) {
         redone_total += out.redone_ops;
         lost_total += out.lost_acked;
         all_equivalent &= out.equivalent;
-        if !matches!(
+        all_slo_ok &= out.slo_ok;
+        if spec.mode.is_checkpoint_phase() {
+            ckpt_fired += 1;
+        } else if !matches!(
             spec.mode,
             CrashMode::AfterCommit { .. } | CrashMode::RecordedNotApplied
         ) {
             mid_remap += 1;
+        }
+        if out.fallback {
+            fallback_seen += 1;
+        }
+        if out.skipped > 0 {
+            skipped_seen += 1;
         }
         if out.mid_round {
             mid_rotation += 1;
@@ -458,11 +542,18 @@ pub fn run(opts: &Opts) {
             spec.seed.to_string(),
             spec.at_step.to_string(),
             mode_name(spec.mode).to_string(),
+            spec.k.to_string(),
             out.crash_write.to_string(),
             out.mid_round.to_string(),
             out.replayed.to_string(),
+            out.skipped.to_string(),
             out.torn_bytes.to_string(),
+            out.journal_bytes.to_string(),
+            out.snap_bytes.to_string(),
             out.redone_ops.to_string(),
+            out.ckpts.to_string(),
+            out.fallback.to_string(),
+            out.slo_ok.to_string(),
             out.reseeded.to_string(),
             out.rekey_moves.to_string(),
             out.acked.to_string(),
@@ -478,24 +569,31 @@ pub fn run(opts: &Opts) {
     println!(
         "\n{fired} crashes fired; mean replay {:.1} records; {redone_total} ops redone from \
          uncommitted steps; {mid_remap} mid-remap crashes, {mid_rotation} mid key-rotation \
-         crashes; {rekeys} re-keyed recoveries, mean attacker overlap after rekey {:.3}",
+         crashes, {ckpt_fired} mid-checkpoint crashes ({fallback_seen} marker fallbacks, \
+         {skipped_seen} stale-prefix skips); {rekeys} re-keyed recoveries, mean attacker \
+         overlap after rekey {:.3}",
         replay_total as f64 / fired.max(1) as f64,
         mean_overlap
     );
 
     // Acceptance bars: every planned crash that fired recovered to full
-    // equivalence with nothing lost; the sweep exercised a mid-remap
-    // crash, a mid key-rotation crash, and the redo path; rekeyed
-    // recovery destroys the attacker's table while plain recovery at a
-    // quiet point preserves it.
+    // equivalence with nothing lost and within the recovery-time SLO; the
+    // sweep exercised a mid-remap crash, a mid key-rotation crash, each
+    // checkpoint-phase crash path, and the redo path; rekeyed recovery
+    // destroys the attacker's table while plain recovery at a quiet point
+    // preserves it.
     assert!(fired > 0, "no crash plan ever fired");
     assert!(
         all_equivalent,
         "a recovered run diverged from never-crashed"
     );
     assert_eq!(lost_total, 0, "an acknowledged write was lost");
+    assert!(all_slo_ok, "a recovery blew the replay SLO");
     assert!(mid_remap > 0, "sweep never crashed mid-remap");
     assert!(mid_rotation > 0, "sweep never crashed mid key-rotation");
+    assert!(ckpt_fired > 0, "sweep never crashed mid-checkpoint");
+    assert!(fallback_seen > 0, "marker-fallback path never exercised");
+    assert!(skipped_seen > 0, "stale-prefix skip never exercised");
     assert!(redone_total > 0, "redo path never exercised");
     assert!(rekeys > 0, "no re-keyed recovery ran");
     assert!(
@@ -506,4 +604,103 @@ pub fn run(opts: &Opts) {
         plain_quiet_overlap_ok,
         "plain quiet-point recovery should preserve the learned mapping"
     );
+
+    // ---- Checkpoint-interval sweep: how K trades journal footprint for
+    // recovery time. Re-keyed Security RBSG, crash points spread over the
+    // trace, every mode; each K aggregates into one row of
+    // `crash_checkpoint.csv`.
+    let ks: &[u64] = if opts.quick {
+        &[4, 8, 16, 32]
+    } else {
+        &[4, 8, 16, 32, 64, 128]
+    };
+    let mut kspecs: Vec<Spec> = Vec::new();
+    for &k in ks {
+        for s in 0..opts.seeds {
+            let seed = 31 + s * 0x9E37;
+            let writes = trace(kind_lines(Kind::SecurityRbsgRekey), n, seed);
+            let steps = total_steps(
+                &|| {
+                    let mut cfg = SecurityRbsgConfig::small(4, 2);
+                    cfg.seed = seed ^ 0x99;
+                    SecurityRbsg::new(cfg)
+                },
+                &writes,
+            );
+            let points: Vec<u64> = (0..npts)
+                .map(|p| 1 + p * (steps - 1) / (npts - 1))
+                .collect();
+            for at_step in points {
+                for mode in MODES {
+                    kspecs.push(Spec {
+                        kind: Kind::SecurityRbsgRekey,
+                        seed,
+                        at_step,
+                        mode,
+                        k,
+                    });
+                }
+            }
+        }
+    }
+    let kresults = srbsg_parallel::par_map(kspecs, opts.jobs, |spec| (spec, dispatch(spec, n)));
+
+    let mut kt = Table::new(
+        &format!(
+            "Checkpoint-interval sweep (security_rbsg+rekey, K in {ks:?}, \
+             replay SLO = max(K, 2) steps)"
+        ),
+        &[
+            "scheme",
+            "k",
+            "slo",
+            "fired",
+            "max_replayed",
+            "mean_replayed",
+            "mean_journal_bytes",
+            "mean_snap_bytes",
+            "mean_ckpts",
+            "slo_ok",
+        ],
+    );
+    for &k in ks {
+        let slo = CheckpointPolicy::every_steps(k)
+            .slo_steps()
+            .expect("every_steps policy always has an SLO");
+        let outs: Vec<&Outcome> = kresults
+            .iter()
+            .filter(|(spec, out)| spec.k == k && out.is_some())
+            .map(|(_, out)| out.as_ref().unwrap())
+            .collect();
+        let fired = outs.len() as u64;
+        assert!(fired > 0, "K={k}: no crash fired");
+        let max_replayed = outs.iter().map(|o| o.replayed).max().unwrap_or(0);
+        let mean = |f: &dyn Fn(&Outcome) -> u64| {
+            outs.iter().map(|o| f(o)).sum::<u64>() as f64 / fired as f64
+        };
+        let slo_ok = outs.iter().all(|o| o.slo_ok);
+        assert!(slo_ok, "K={k}: a recovery replayed more than the SLO");
+        assert!(
+            max_replayed <= slo,
+            "K={k}: max replay {max_replayed} exceeds SLO {slo}"
+        );
+        assert!(
+            outs.iter().all(|o| o.lost_acked == 0 && o.equivalent),
+            "K={k}: a recovery lost data or diverged"
+        );
+        kt.row(vec![
+            kind_name(Kind::SecurityRbsgRekey).to_string(),
+            k.to_string(),
+            slo.to_string(),
+            fired.to_string(),
+            max_replayed.to_string(),
+            format!("{:.2}", mean(&|o| o.replayed)),
+            format!("{:.1}", mean(&|o| o.journal_bytes)),
+            format!("{:.1}", mean(&|o| o.snap_bytes)),
+            format!("{:.2}", mean(&|o| o.ckpts)),
+            slo_ok.to_string(),
+        ]);
+    }
+    kt.print();
+    kt.write_csv(&opts.out_dir, "crash_checkpoint");
 }

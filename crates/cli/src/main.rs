@@ -21,7 +21,10 @@
 //!             (bounded queues, deadlines, retry/backoff, quarantine),
 //!             open-loop and closed-loop
 //!   crash     Power-failure injection sweep over the journaled metadata
-//!             stack: torn/partial records, verified recovery, re-keying
+//!             stack: torn/partial records, checkpoint-phase crashes,
+//!             verified recovery, re-keying, checkpoint-interval sweep
+//!   crashfuzz Randomized crash-under-load fuzzing: power cuts during
+//!             serve replay, re-keyed restart, SLO + equivalence checks
 //!   all       Everything above
 //! ```
 //!
@@ -37,6 +40,7 @@
 
 mod ablation;
 mod crash;
+mod crashfuzz;
 mod detect;
 mod faults;
 mod fig11;
@@ -138,6 +142,7 @@ fn main() {
         "faults" => faults::run(&opts),
         "serve" => serve::run(&opts),
         "crash" => crash::run(&opts),
+        "crashfuzz" => crashfuzz::run(&opts),
         "all" => {
             fig11::run(&opts);
             fig12::run(&opts);
@@ -153,6 +158,7 @@ fn main() {
             faults::run(&opts);
             serve::run(&opts);
             crash::run(&opts);
+            crashfuzz::run(&opts);
         }
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -162,7 +168,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|crashfuzz|all> \
          [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);

@@ -14,6 +14,16 @@ use crate::Opts;
 /// a 64-byte sequential record at PCM write bandwidth, rounded up.
 const JOURNAL_APPEND_NS: u64 = 250;
 
+/// Controller occupancy of one checkpoint installation (dual-slot
+/// snapshot write + marker flip; see `PerfConfig::checkpoint_write_ns`):
+/// a few hundred bytes of sequential metadata at PCM write bandwidth.
+const CHECKPOINT_WRITE_NS: u64 = 1_500;
+
+/// Checkpoint cadence charged in the `+checkpoint` row — the same K the
+/// crash sweep arms (`experiments crash`), so the IPC price and the
+/// recovery SLO in `crash_checkpoint.csv` describe one configuration.
+const CHECKPOINT_EVERY_STEPS: u64 = 8;
+
 fn run_bench(profile: &BenchProfile, width: u32, inner_interval: u64, cfg: &PerfConfig) -> f64 {
     let lines = 1u64 << width;
     let seed = 7;
@@ -66,23 +76,32 @@ pub fn run(opts: &Opts) {
         .collect();
     // The journal-free grid first (folded per benchmark in interval order,
     // exactly as before), then the same grid with the remap journal append
-    // charged, for the AVERAGE(all)+journal row.
-    let mut items: Vec<(BenchProfile, u64, u64)> = Vec::new();
-    for j in [0u64, JOURNAL_APPEND_NS] {
+    // charged, then with periodic checkpoint installations on top — one
+    // AVERAGE(all) row per durability tier.
+    let mut items: Vec<(BenchProfile, u64, u64, u64)> = Vec::new();
+    for (j, ck) in [
+        (0u64, 0u64),
+        (JOURNAL_APPEND_NS, 0),
+        (JOURNAL_APPEND_NS, CHECKPOINT_WRITE_NS),
+    ] {
         for p in &benches {
             for &pi in &intervals {
-                items.push((p.clone(), pi, j));
+                items.push((p.clone(), pi, j, ck));
             }
         }
     }
-    let degs_all = srbsg_parallel::par_map(items, opts.jobs, move |(p, pi, j)| {
+    let degs_all = srbsg_parallel::par_map(items, opts.jobs, move |(p, pi, j, ck)| {
         let cfg = PerfConfig {
             journal_append_ns: j,
+            checkpoint_write_ns: ck,
+            checkpoint_every_steps: if ck > 0 { CHECKPOINT_EVERY_STEPS } else { 0 },
             ..cfg
         };
         run_bench(&p, width, pi, &cfg)
     });
-    let (degs_flat, degs_journal) = degs_all.split_at(benches.len() * intervals.len());
+    let grid = benches.len() * intervals.len();
+    let (degs_flat, rest) = degs_all.split_at(grid);
+    let (degs_journal, degs_checkpoint) = rest.split_at(grid);
     for (p, degs) in benches.iter().zip(degs_flat.chunks(intervals.len())) {
         for (i, d) in degs.iter().enumerate() {
             let e = suite_sums.entry((p.suite, i)).or_insert((0.0, 0u32));
@@ -112,11 +131,13 @@ pub fn run(opts: &Opts) {
             cells[2].clone(),
         ]);
     }
-    // Whole-suite averages with and without the crash-consistency journal:
-    // the delta is the IPC price of making every remap movement journaled.
+    // Whole-suite averages across the durability tiers: nothing, the
+    // crash-consistency journal, and the journal plus bounded-recovery
+    // checkpoints — each delta is the IPC price of the next guarantee.
     for (label, degs) in [
         ("AVERAGE(all)", degs_flat),
         ("AVERAGE(all)+journal", degs_journal),
+        ("AVERAGE(all)+journal+checkpoint", degs_checkpoint),
     ] {
         let cells: Vec<String> = (0..intervals.len())
             .map(|i| {
@@ -139,6 +160,8 @@ pub fn run(opts: &Opts) {
     println!(
         "paper reference: PARSEC average degradation 1.73/1.02/0.68 % at ψ_in = 32/64/128; \
          SPEC CPU2006 all < 0.5 %; bzip2 and gcc show none; the +journal row charges \
-         {JOURNAL_APPEND_NS} ns of controller time per remap-triggering write"
+         {JOURNAL_APPEND_NS} ns of controller time per remap-triggering write, and the \
+         +journal+checkpoint row adds {CHECKPOINT_WRITE_NS} ns per {CHECKPOINT_EVERY_STEPS} \
+         remap steps for the dual-slot snapshot install"
     );
 }

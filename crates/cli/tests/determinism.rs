@@ -148,8 +148,8 @@ fn normal_output_is_byte_identical_across_job_counts() {
 }
 
 /// The crash sweep both injects failures and *verifies recovery* inside
-/// each trial; its table and CSV must still be byte-identical for any
-/// worker count.
+/// each trial; its table, the main CSV, and the checkpoint-interval sweep
+/// CSV must all be byte-identical for any worker count.
 #[test]
 fn crash_output_is_byte_identical_across_job_counts() {
     let base = std::env::temp_dir().join(format!("srbsg-crash-determinism-{}", std::process::id()));
@@ -157,17 +157,54 @@ fn crash_output_is_byte_identical_across_job_counts() {
     for jobs in [1u32, 2, 4] {
         let dir = base.join(format!("jobs{jobs}"));
         std::fs::create_dir_all(&dir).expect("create out dir");
-        outputs.push((jobs, run_fig("crash", jobs, &dir)));
+        outputs.push((
+            jobs,
+            run_fig_csvs("crash", jobs, &dir, &["crash", "crash_checkpoint"]),
+        ));
+    }
+    let (_, serial) = &outputs[0];
+    for (jobs, parallel) in &outputs[1..] {
+        assert_eq!(
+            serial.0[0], parallel.0[0],
+            "crash.csv differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.0[1], parallel.0[1],
+            "crash_checkpoint.csv differs between --jobs 1 and --jobs {jobs}"
+        );
+        assert_eq!(
+            serial.1, parallel.1,
+            "crash stdout differs between --jobs 1 and --jobs {jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The fuzz loop seeds every iteration from its index alone and folds
+/// results in iteration order, so the whole randomized campaign — crash
+/// draws, recoveries, resubmissions — is byte-identical for any worker
+/// count.
+#[test]
+fn crashfuzz_output_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!(
+        "srbsg-crashfuzz-determinism-{}",
+        std::process::id()
+    ));
+    let mut outputs = Vec::new();
+    for jobs in [1u32, 2, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        std::fs::create_dir_all(&dir).expect("create out dir");
+        outputs.push((jobs, run_fig("crashfuzz", jobs, &dir)));
     }
     let (_, serial) = &outputs[0];
     for (jobs, parallel) in &outputs[1..] {
         assert_eq!(
             serial.0, parallel.0,
-            "crash.csv differs between --jobs 1 and --jobs {jobs}"
+            "crashfuzz.csv differs between --jobs 1 and --jobs {jobs}"
         );
         assert_eq!(
             serial.1, parallel.1,
-            "crash stdout differs between --jobs 1 and --jobs {jobs}"
+            "crashfuzz stdout differs between --jobs 1 and --jobs {jobs}"
         );
     }
     std::fs::remove_dir_all(&base).ok();

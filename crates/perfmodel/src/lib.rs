@@ -40,6 +40,17 @@ pub struct PerfConfig {
     /// makes the remap crash-consistent. 0 (the default) models the
     /// journal-less controller and leaves every figure bit-identical.
     pub journal_append_ns: u64,
+    /// Extra controller occupancy charged when a checkpoint policy
+    /// compacts the journal: every [`PerfConfig::checkpoint_every_steps`]
+    /// remap-firing writes, the controller writes a fresh metadata
+    /// snapshot (the dual-slot installation of `srbsg-persist`). 0 (the
+    /// default) models no checkpointing and leaves every figure
+    /// bit-identical.
+    pub checkpoint_write_ns: u64,
+    /// The checkpoint policy's step bound K: a snapshot write is charged
+    /// once per this many remap-firing writes. 0 (the default) disables
+    /// the charge regardless of [`PerfConfig::checkpoint_write_ns`].
+    pub checkpoint_every_steps: u64,
 }
 
 impl Default for PerfConfig {
@@ -49,6 +60,8 @@ impl Default for PerfConfig {
             cpu_ghz: 1.0,
             accesses: 200_000,
             journal_append_ns: 0,
+            checkpoint_write_ns: 0,
+            checkpoint_every_steps: 0,
         }
     }
 }
@@ -91,6 +104,8 @@ pub fn run_trace<W: WearLeveler, T: TraceGenerator>(
     let mut queue: VecDeque<u128> = VecDeque::with_capacity(cfg.queue_depth);
     // When the controller finishes its current backlog.
     let mut controller_free: u128 = 0;
+    // Remap-firing writes since the last charged checkpoint.
+    let mut steps_since_checkpoint: u64 = 0;
     let lines = mc.logical_lines();
 
     for i in 0..cfg.accesses {
@@ -118,16 +133,28 @@ pub fn run_trace<W: WearLeveler, T: TraceGenerator>(
             // remap record to the metadata journal before the movement may
             // proceed; the append occupies the controller like any other
             // device work.
-            let journal: Ns =
-                if cfg.journal_append_ns > 0 && mc.scheme().writes_until_remap(addr) == 0 {
-                    cfg.journal_append_ns as Ns
-                } else {
-                    0
-                };
+            let remap_fires = mc.scheme().writes_until_remap(addr) == 0;
+            let journal: Ns = if cfg.journal_append_ns > 0 && remap_fires {
+                cfg.journal_append_ns as Ns
+            } else {
+                0
+            };
+            // A checkpoint policy compacts the journal every K steps; the
+            // snapshot write to the inactive slot occupies the controller
+            // like any other device work, amortized over K remaps.
+            let mut checkpoint: Ns = 0;
+            if cfg.checkpoint_write_ns > 0 && cfg.checkpoint_every_steps > 0 && remap_fires {
+                steps_since_checkpoint += 1;
+                if steps_since_checkpoint >= cfg.checkpoint_every_steps {
+                    steps_since_checkpoint = 0;
+                    checkpoint = cfg.checkpoint_write_ns as Ns;
+                }
+            }
             let service: Ns = mc
                 .write(addr, LineData::Mixed((i & 0xFFFF) as u32))
                 .latency_ns
-                + journal;
+                + journal
+                + checkpoint;
             let start = controller_free.max(now);
             let done = start + service;
             controller_free = done;
@@ -303,6 +330,82 @@ mod tests {
             "journal appends must cost controller time: {} vs {}",
             charged.total_ns,
             free.total_ns
+        );
+    }
+
+    #[test]
+    fn checkpoint_write_zero_is_bit_identical() {
+        let scheme = || {
+            SecurityRbsg::new(SecurityRbsgConfig {
+                width: 12,
+                sub_regions: 16,
+                inner_interval: 16,
+                outer_interval: 64,
+                stages: 7,
+                seed: 1,
+            })
+        };
+        let run_with = |ckpt_ns: u64, every: u64| {
+            let cfg = PerfConfig {
+                accesses: 60_000,
+                checkpoint_write_ns: ckpt_ns,
+                checkpoint_every_steps: every,
+                ..Default::default()
+            };
+            let mut mc = MemoryController::new(scheme(), u64::MAX, srbsg_timing());
+            let mut t = UniformTrace::new(1 << 12, 0.6, 30, 9);
+            run_trace(&mut mc, &mut t, &cfg)
+        };
+        let legacy = run_with(0, 0);
+        // Either knob at zero disables the charge entirely.
+        let no_cost = run_with(5_000, 0);
+        let no_policy = run_with(0, 8);
+        assert_eq!(legacy.total_ns, no_cost.total_ns);
+        assert_eq!(legacy.stall_ns, no_cost.stall_ns);
+        assert_eq!(legacy.total_ns, no_policy.total_ns);
+        assert_eq!(legacy.stall_ns, no_policy.stall_ns);
+    }
+
+    #[test]
+    fn checkpoint_writes_cost_time_and_amortize_with_larger_k() {
+        let scheme = || {
+            SecurityRbsg::new(SecurityRbsgConfig {
+                width: 12,
+                sub_regions: 16,
+                inner_interval: 16,
+                outer_interval: 64,
+                stages: 7,
+                seed: 1,
+            })
+        };
+        // Dense write traffic, small interval: many remap movements, and a
+        // saturated queue so extra controller occupancy surfaces as stall.
+        let run_with = |every: u64| {
+            let cfg = PerfConfig {
+                accesses: 60_000,
+                checkpoint_write_ns: 5_000,
+                checkpoint_every_steps: every,
+                ..Default::default()
+            };
+            let mut mc = MemoryController::new(scheme(), u64::MAX, srbsg_timing());
+            let mut t = UniformTrace::new(1 << 12, 0.9, 5, 9);
+            run_trace(&mut mc, &mut t, &cfg)
+        };
+        let cfg = PerfConfig::default();
+        let free = run_with(0);
+        let tight = run_with(4);
+        let loose = run_with(64);
+        assert!(
+            tight.total_ns > free.total_ns,
+            "checkpoint writes must cost controller time: {} vs {}",
+            tight.total_ns,
+            free.total_ns
+        );
+        assert!(
+            tight.ipc(&cfg) <= loose.ipc(&cfg),
+            "a tighter checkpoint policy cannot be faster: K=4 ipc {} vs K=64 ipc {}",
+            tight.ipc(&cfg),
+            loose.ipc(&cfg)
         );
     }
 

@@ -5,7 +5,8 @@
 //! short by power failure — expected, truncated silently) from *corrupt* data
 //! (an interior record that fails validation — a hard error, never acted on).
 
-/// Why a persisted byte string could not be decoded.
+/// Why a persisted byte string could not be decoded, or why a durability
+/// operation could not run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PersistError {
     /// The input ended before the announced structure was complete.
@@ -13,6 +14,11 @@ pub enum PersistError {
     /// The input was structurally complete but failed validation; the
     /// message names the check that failed.
     Corrupt(&'static str),
+    /// The operation raced a power cut: the store holds whatever the
+    /// failure left behind and the caller must go through recovery. A
+    /// checkpoint interrupted this way is an injectable outcome, not a
+    /// programming error.
+    PowerLost,
 }
 
 impl core::fmt::Display for PersistError {
@@ -20,6 +26,7 @@ impl core::fmt::Display for PersistError {
         match self {
             PersistError::Truncated => write!(f, "persisted data truncated"),
             PersistError::Corrupt(what) => write!(f, "persisted data corrupt: {what}"),
+            PersistError::PowerLost => write!(f, "power lost during a persistence operation"),
         }
     }
 }

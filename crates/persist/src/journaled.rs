@@ -1,16 +1,22 @@
-//! The [`Journaled`] wear-leveler wrapper and the recovery path.
+//! The [`Journaled`] wear-leveler wrapper, checkpoint policy, and the
+//! recovery path.
 //!
 //! `Journaled<W>` couples any [`JournaledScheme`] with a [`Persistor`] so
 //! that every wear-leveling step runs the record → apply → commit protocol.
 //! After a power failure, [`Journaled::recover`] rebuilds the wrapper from
 //! the surviving [`Store`] and bank:
 //!
-//! 1. decode the snapshot (checksummed — corruption is rejected, never
-//!    acted on),
-//! 2. parse the journal, truncating a torn tail,
-//! 3. replay every record *onto the metadata only*, verifying the dense
-//!    sequence chain and that each replayed step reproduces the recorded
-//!    physical operations,
+//! 1. pick the snapshot: decode the active-slot marker and the slot it
+//!    names; on a torn marker, fall back to whichever slot decodes with the
+//!    highest sequence number (a fully-written snapshot always validates,
+//!    a torn one never does),
+//! 2. parse the journal, truncating a torn tail and *skipping the stale
+//!    prefix* — records older than the chosen snapshot, left behind when
+//!    power died between a checkpoint's marker flip and its journal
+//!    truncation,
+//! 3. replay every remaining record *onto the metadata only*, verifying
+//!    the dense sequence chain and that each replayed step reproduces the
+//!    recorded physical operations,
 //! 4. if the final record is a `Step` with no `Commit` marker, redo its
 //!    operations on the bank from the recorded before-images (idempotent)
 //!    and append the missing marker.
@@ -19,15 +25,82 @@
 //! key material (journaled as a `Reseed` record so the journal stays
 //! replayable) and drives enough remap work for the fresh keys to take
 //! effect — so an attacker cannot freeze the mapping by cycling power.
+//!
+//! A [`CheckpointPolicy`] bounds all of this: the wrapper installs a
+//! checkpoint (via the persistor's crash-safe dual-slot protocol) whenever
+//! the journal crosses a step-count or byte threshold, which caps how many
+//! steps any future recovery can be asked to replay — the recovery-time
+//! SLO, [`CheckpointPolicy::slo_steps`].
 
 use crate::codec::PersistError;
-use crate::journal::{parse_journal, Record};
-use crate::persistor::{CrashPlan, Persistor, Store};
+use crate::journal::{encode_record, parse_journal, Record};
+use crate::persistor::{decode_marker, encode_marker, CrashPlan, Persistor, Store};
 use crate::state::{decode_snapshot, encode_snapshot, MetadataState};
 use srbsg_pcm::{
     LineAddr, LineData, MemoryController, Ns, PcmBank, PcmError, PhysOp, StepSink, WearLeveler,
     WriteResponse,
 };
+
+/// The most wear-leveling steps one demand write can commit. Two-level
+/// schemes (Security RBSG) may fire an outer *and* an inner step inside a
+/// single `before_write`, so a checkpoint policy of "every K steps" can
+/// only be enforced to within this slack: the journal is compacted after
+/// the write that crossed the threshold, by which point it may hold up to
+/// `K - 1 + MAX_STEPS_PER_WRITE - 1` … i.e. `max(K, 2)` steps.
+pub const MAX_STEPS_PER_WRITE: u64 = 2;
+
+/// When `Journaled` should compact its store automatically. Checked after
+/// every demand write; a checkpoint fires when *either* bound is crossed.
+/// The default policy has no bounds — the journal grows until an explicit
+/// [`Journaled::checkpoint`], matching the pre-policy behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Compact once roughly this many steps have been journaled since the
+    /// last checkpoint. The enforced recovery-time bound is
+    /// [`CheckpointPolicy::slo_steps`], not `K` itself, because one demand
+    /// write can commit up to [`MAX_STEPS_PER_WRITE`] steps.
+    pub every_steps: Option<u64>,
+    /// Compact once the journal region holds at least this many bytes.
+    pub journal_bytes: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Compact every `k` journaled steps (`k >= 1`).
+    pub fn every_steps(k: u64) -> Self {
+        Self {
+            every_steps: Some(k.max(1)),
+            journal_bytes: None,
+        }
+    }
+
+    /// Compact once the journal holds `bytes` bytes.
+    pub fn journal_bytes(bytes: u64) -> Self {
+        Self {
+            every_steps: None,
+            journal_bytes: Some(bytes.max(1)),
+        }
+    }
+
+    /// The recovery-time SLO this policy enforces: no recovery will ever
+    /// replay more than this many steps. `None` when the policy has no
+    /// step bound.
+    pub fn slo_steps(&self) -> Option<u64> {
+        self.every_steps.map(|k| k.max(MAX_STEPS_PER_WRITE))
+    }
+
+    /// Whether a checkpoint is due, given the steps journaled since the
+    /// last checkpoint and the current journal size. The step trigger
+    /// fires one step *early* (`K - 1`) so that the following write —
+    /// which may commit [`MAX_STEPS_PER_WRITE`] steps before the policy
+    /// can run again — cannot push the journal past the SLO.
+    pub fn due(&self, steps_since_checkpoint: u64, journal_len: u64) -> bool {
+        let step_due = self
+            .every_steps
+            .is_some_and(|k| steps_since_checkpoint >= (k - 1).max(1));
+        let byte_due = self.journal_bytes.is_some_and(|b| journal_len >= b);
+        step_due || byte_due
+    }
+}
 
 /// A wear-leveling scheme whose metadata can be journaled and replayed.
 ///
@@ -63,7 +136,7 @@ pub trait JournaledScheme: WearLeveler + MetadataState {
     }
 }
 
-/// What recovery found and did.
+/// What recovery found and did, including what it cost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// `Step` records replayed onto the metadata.
@@ -77,6 +150,18 @@ pub struct RecoveryReport {
     pub reseeded: bool,
     /// Remap movements performed to put fresh keys in effect.
     pub rekey_movements: u64,
+    /// Journal bytes the surviving store held (torn tail and stale prefix
+    /// included) — the raw recovery-read cost the checkpoint policy bounds.
+    pub journal_bytes: u64,
+    /// Size of the snapshot recovery restored from.
+    pub snapshot_bytes: u64,
+    /// `Step` records skipped as a stale prefix: journal records older
+    /// than the chosen snapshot, left behind when power died between a
+    /// checkpoint's marker flip and its journal truncation.
+    pub skipped_steps: u64,
+    /// Whether the active-slot marker was torn and recovery fell back to
+    /// inspecting both slots.
+    pub marker_fallback: bool,
 }
 
 /// A wear-leveler whose metadata survives power failure. See module docs.
@@ -84,22 +169,39 @@ pub struct RecoveryReport {
 pub struct Journaled<W: JournaledScheme> {
     scheme: W,
     persistor: Persistor,
+    policy: CheckpointPolicy,
+    steps_at_checkpoint: u64,
 }
 
 impl<W: JournaledScheme> Journaled<W> {
-    /// Wrap `scheme`, taking an initial snapshot at sequence 0.
+    /// Wrap `scheme`, taking an initial snapshot at sequence 0 into slot 0.
+    /// No automatic checkpointing — see [`Journaled::with_policy`].
     pub fn new(scheme: W) -> Self {
         let snapshot = encode_snapshot(&scheme, 0);
         Self {
             scheme,
-            persistor: Persistor::new(
-                Store {
-                    snapshot,
-                    journal: Vec::new(),
-                },
-                0,
-            ),
+            persistor: Persistor::new(Store::with_snapshot(snapshot, 0), 0),
+            policy: CheckpointPolicy::default(),
+            steps_at_checkpoint: 0,
         }
+    }
+
+    /// Wrap `scheme` with an automatic checkpoint policy in force.
+    pub fn with_policy(scheme: W, policy: CheckpointPolicy) -> Self {
+        let mut jw = Self::new(scheme);
+        jw.policy = policy;
+        jw
+    }
+
+    /// Install (or clear, with the default no-bound policy) the automatic
+    /// checkpoint policy.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.policy = policy;
+    }
+
+    /// The automatic checkpoint policy in force.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.policy
     }
 
     /// The wrapped scheme.
@@ -133,25 +235,70 @@ impl<W: JournaledScheme> Journaled<W> {
         self.persistor.steps_logged()
     }
 
+    /// Steps journaled since the last installed checkpoint — what a crash
+    /// right now would ask recovery to replay.
+    pub fn steps_since_checkpoint(&self) -> u64 {
+        self.persistor.steps_logged() - self.steps_at_checkpoint
+    }
+
+    /// Checkpoints fully installed by this wrapper.
+    pub fn checkpoints_installed(&self) -> u64 {
+        self.persistor.checkpoints_installed()
+    }
+
+    /// Cumulative snapshot bytes written by completed checkpoints — the
+    /// durability overhead the policy pays for bounded recovery.
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.persistor.checkpoint_bytes_written()
+    }
+
+    /// Cumulative bytes appended to the journal region.
+    pub fn journal_bytes_written(&self) -> u64 {
+        self.persistor.journal_bytes_written()
+    }
+
     /// Cleanly cut the power between requests (orderly restart).
     pub fn power_cut(&mut self) {
         self.persistor.power_cut();
     }
 
-    /// Compact the store: take a fresh snapshot at the current sequence
-    /// number and clear the journal.
-    pub fn checkpoint(&mut self) {
+    /// Compact the store now: take a fresh snapshot at the current
+    /// sequence number and install it via the crash-safe dual-slot
+    /// protocol (write inactive slot → flip marker → truncate journal).
+    ///
+    /// Returns [`PersistError::PowerLost`] when power is already off or an
+    /// armed checkpoint-phase crash fires mid-installation; the store then
+    /// holds exactly what the failure left and recovery falls back to the
+    /// surviving slot plus the full journal.
+    pub fn checkpoint(&mut self) -> Result<(), PersistError> {
         let snapshot = encode_snapshot(&self.scheme, self.persistor.next_seq());
-        self.persistor.install_checkpoint(snapshot);
+        self.persistor.install_checkpoint(snapshot)?;
+        self.steps_at_checkpoint = self.persistor.steps_logged();
+        Ok(())
+    }
+
+    /// Run the checkpoint policy (called after each demand write).
+    /// Returns whether a checkpoint was installed.
+    fn maybe_checkpoint(&mut self) -> Result<bool, PersistError> {
+        if !self.policy.due(
+            self.steps_since_checkpoint(),
+            self.persistor.store().journal_bytes(),
+        ) {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
     }
 
     /// Rebuild from a surviving store and bank. See the module docs for the
-    /// four recovery stages.
+    /// four recovery stages. The recovered wrapper's store is normalized:
+    /// the chosen snapshot in slot 0, an intact marker, and the replayed
+    /// journal (stale prefix dropped, torn tail truncated).
     pub fn recover(
         store: &Store,
         bank: &mut PcmBank,
     ) -> Result<(Self, RecoveryReport), PersistError> {
-        Self::recover_inner(store, bank, None)
+        Self::recover_inner(store, bank, None, CheckpointPolicy::default())
     }
 
     /// Like [`Journaled::recover`], but additionally reseed the scheme's
@@ -163,26 +310,108 @@ impl<W: JournaledScheme> Journaled<W> {
         bank: &mut PcmBank,
         seed: u64,
     ) -> Result<(Self, RecoveryReport), PersistError> {
-        Self::recover_inner(store, bank, Some(seed))
+        Self::recover_inner(store, bank, Some(seed), CheckpointPolicy::default())
+    }
+
+    /// [`Journaled::recover`] with a checkpoint policy re-armed on the
+    /// recovered wrapper. A checkpoint is installed immediately after
+    /// recovery, so the next crash starts from an empty journal and the
+    /// policy's SLO holds across repeated power cycles.
+    pub fn recover_with_policy(
+        store: &Store,
+        bank: &mut PcmBank,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_inner(store, bank, None, policy)
+    }
+
+    /// [`Journaled::recover_rekeyed`] with a checkpoint policy re-armed on
+    /// the recovered wrapper; the post-recovery checkpoint also absorbs the
+    /// rekey burst, which may journal more than the policy's step bound in
+    /// one go.
+    pub fn recover_rekeyed_with_policy(
+        store: &Store,
+        bank: &mut PcmBank,
+        seed: u64,
+        policy: CheckpointPolicy,
+    ) -> Result<(Self, RecoveryReport), PersistError> {
+        Self::recover_inner(store, bank, Some(seed), policy)
+    }
+
+    /// Stage 1: choose the snapshot to restore from. With an intact marker
+    /// the named slot is authoritative (its seq must match the marker's).
+    /// With a torn marker — the checkpoint protocol's phase-2 crash — try
+    /// both slots and take the one that validates with the highest
+    /// sequence number: a fully-written snapshot always decodes, a torn
+    /// one never does, so this resolves to the newest durable checkpoint.
+    fn choose_snapshot(store: &Store) -> Result<(W, u64, Vec<u8>, bool), PersistError> {
+        if let Ok((slot, marker_seq)) = decode_marker(&store.marker) {
+            let bytes = &store.slots[slot as usize];
+            let (scheme, snap_seq) = decode_snapshot::<W>(bytes)?;
+            if snap_seq != marker_seq {
+                return Err(PersistError::Corrupt("marker seq does not match snapshot"));
+            }
+            return Ok((scheme, snap_seq, bytes.clone(), false));
+        }
+        let mut best: Option<(W, u64, Vec<u8>)> = None;
+        for bytes in &store.slots {
+            if let Ok((scheme, seq)) = decode_snapshot::<W>(bytes) {
+                if best.as_ref().is_none_or(|(_, s, _)| seq > *s) {
+                    best = Some((scheme, seq, bytes.clone()));
+                }
+            }
+        }
+        best.map(|(scheme, seq, bytes)| (scheme, seq, bytes, true))
+            .ok_or(PersistError::Corrupt(
+                "no decodable snapshot in either slot",
+            ))
     }
 
     fn recover_inner(
         store: &Store,
         bank: &mut PcmBank,
         rekey_seed: Option<u64>,
+        policy: CheckpointPolicy,
     ) -> Result<(Self, RecoveryReport), PersistError> {
-        let (mut scheme, snap_seq) = decode_snapshot::<W>(&store.snapshot)?;
+        let (mut scheme, snap_seq, snapshot, marker_fallback) = Self::choose_snapshot(store)?;
         let parsed = parse_journal(&store.journal)?;
-        let mut clean_journal = store.journal[..parsed.clean_len(&store.journal)].to_vec();
 
         let mut report = RecoveryReport {
             torn_bytes: parsed.torn_bytes as u64,
+            journal_bytes: store.journal.len() as u64,
+            snapshot_bytes: snapshot.len() as u64,
+            marker_fallback,
             ..RecoveryReport::default()
         };
 
+        // Stage 2+3: skip the stale prefix (records the chosen snapshot
+        // already covers — only present when power died between a
+        // checkpoint's marker flip and its journal truncation), then
+        // replay the rest, verifying the dense sequence chain. The clean
+        // journal is rebuilt from the kept records, which both drops the
+        // stale prefix and truncates the torn tail.
+        let mut clean_journal = Vec::new();
+        let mut stale_seq: Option<u64> = None;
         let mut expected_seq = snap_seq;
         let mut uncommitted: Option<&Record> = None;
         for rec in &parsed.records {
+            if rec.seq() < snap_seq {
+                // Stale prefix: must itself be dense and precede any kept
+                // record (a stale record after a kept one is corruption).
+                if expected_seq != snap_seq {
+                    return Err(PersistError::Corrupt("stale record after journal head"));
+                }
+                if let Some(prev) = stale_seq {
+                    if rec.seq() != prev + 1 {
+                        return Err(PersistError::Corrupt("stale prefix sequence gap"));
+                    }
+                }
+                stale_seq = Some(rec.seq());
+                if matches!(rec, Record::Step { .. }) {
+                    report.skipped_steps += 1;
+                }
+                continue;
+            }
             if rec.seq() != expected_seq {
                 return Err(PersistError::Corrupt("journal sequence gap"));
             }
@@ -203,25 +432,31 @@ impl<W: JournaledScheme> Journaled<W> {
                     uncommitted = None;
                 }
             }
+            clean_journal.extend_from_slice(&encode_record(rec));
         }
 
         if let Some(Record::Step { ops, .. }) = uncommitted {
-            // The final step was recorded but its commit marker never made
-            // it: blindly redo from before-images (idempotent whether the
-            // application was skipped, half-done, or complete) and close
-            // the record.
+            // Stage 4: the final step was recorded but its commit marker
+            // never made it: blindly redo from before-images (idempotent
+            // whether the application was skipped, half-done, or complete)
+            // and close the record.
             for op in ops {
                 op.redo(bank);
                 report.redone_ops += 1;
             }
             let marker = Record::Commit { seq: expected_seq };
             expected_seq += 1;
-            clean_journal.extend_from_slice(&crate::journal::encode_record(&marker));
+            clean_journal.extend_from_slice(&encode_record(&marker));
         }
 
+        // Normalize the recovered store: the chosen snapshot's original
+        // bytes in slot 0 with an intact marker, the other slot empty, the
+        // rebuilt journal. (The snapshot must stay the *pre-replay* state:
+        // the journal that follows it replays onto it.)
         let mut persistor = Persistor::new(
             Store {
-                snapshot: store.snapshot.clone(),
+                marker: encode_marker(0, snap_seq),
+                slots: [snapshot, Vec::new()],
                 journal: clean_journal,
             },
             expected_seq,
@@ -234,7 +469,20 @@ impl<W: JournaledScheme> Journaled<W> {
             report.rekey_movements = scheme.rekey(bank, &mut persistor);
         }
 
-        Ok((Self { scheme, persistor }, report))
+        let mut jw = Self {
+            scheme,
+            persistor,
+            policy,
+            steps_at_checkpoint: 0,
+        };
+        if policy != CheckpointPolicy::default() {
+            // Start the policy's clock from an empty journal: the rekey
+            // burst above may have journaled more steps than the policy's
+            // bound allows, and the replayed journal itself is history the
+            // next recovery need not pay for again.
+            jw.checkpoint()?;
+        }
+        Ok((jw, report))
     }
 }
 
@@ -248,13 +496,17 @@ impl<W: JournaledScheme> WearLeveler for Journaled<W> {
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
         // Crash-armed runs must go through `write_crashable`, which aborts
         // the demand write when the plan fires; the plain path is for
-        // crash-free operation (journaling only).
+        // crash-free operation (journaling only), where a checkpoint
+        // cannot fail.
         debug_assert!(
             self.persistor.powered(),
             "before_write on a crashed Journaled wrapper"
         );
-        self.scheme
-            .before_write_logged(la, bank, &mut self.persistor)
+        let ns = self
+            .scheme
+            .before_write_logged(la, bank, &mut self.persistor);
+        let _ = self.maybe_checkpoint();
+        ns
     }
     fn writes_until_remap(&self, la: LineAddr) -> u64 {
         self.scheme.writes_until_remap(la)
@@ -280,9 +532,10 @@ impl<W: JournaledScheme> WearLeveler for Journaled<W> {
 ///
 /// Returns [`PcmError::PowerLost`] — with the request *not* acknowledged
 /// and the clock untouched — when the armed [`CrashPlan`] fires during this
-/// write, whether at a quiet point before the scheme runs or inside a remap
-/// step. Movements the step already made stand: the bank is left in exactly
-/// the state the power failure produced.
+/// write, whether at a quiet point before the scheme runs, inside a remap
+/// step, or inside a policy-triggered checkpoint installation. Movements
+/// the step already made stand: the bank is left in exactly the state the
+/// power failure produced.
 pub fn write_crashable<W: JournaledScheme>(
     mc: &mut MemoryController<Journaled<W>>,
     la: LineAddr,
@@ -296,6 +549,30 @@ pub fn write_crashable<W: JournaledScheme>(
         if !jw.persistor.powered() {
             return Err(PcmError::PowerLost);
         }
+        if jw.maybe_checkpoint().is_err() {
+            return Err(PcmError::PowerLost);
+        }
         Ok(latency)
     })
+}
+
+/// [`write_crashable`] with program-and-verify semantics: like
+/// [`MemoryController::write_verified`], the result is
+/// [`PcmError::WriteNotVerified`] when the device exhausted its retry
+/// budget on this write, and [`PcmError::PowerLost`] when the armed crash
+/// plan fires — so a serving front-end can drive its normal retry loop
+/// over journaled banks under power-failure injection.
+pub fn write_verified_crashable<W: JournaledScheme>(
+    mc: &mut MemoryController<Journaled<W>>,
+    la: LineAddr,
+    data: LineData,
+) -> Result<WriteResponse, PcmError> {
+    let stuck_before = mc.bank().fault_stats().retry_exhaustions;
+    let resp = write_crashable(mc, la, data)?;
+    if mc.bank().fault_stats().retry_exhaustions > stuck_before {
+        let attempts = mc.bank().fault_config().map(|c| c.max_retries).unwrap_or(0);
+        Err(PcmError::WriteNotVerified { la, attempts })
+    } else {
+        Ok(resp)
+    }
 }

@@ -21,7 +21,13 @@
 //!   before-images, and re-derives the live mapping;
 //! * [`Journaled::recover_rekeyed`] — recovery that re-randomizes key
 //!   material so power cycling cannot freeze the mapping (the
-//!   RTA-across-power-cycles defence).
+//!   RTA-across-power-cycles defence);
+//! * [`CheckpointPolicy`] — automatic journal compaction through a
+//!   crash-safe dual-slot snapshot protocol (write the inactive slot, flip
+//!   the active marker, truncate the journal), bounding how many steps any
+//!   recovery replays — the recovery-time SLO. [`CrashMode`] covers the
+//!   three checkpoint phases too, so a power cut *inside* a checkpoint
+//!   provably falls back to the surviving slot plus the full journal.
 //!
 //! The crash-equivalence contract, verified by this crate's tests: for
 //! every injected crash point, recovering and continuing a workload is
@@ -36,8 +42,13 @@ mod state;
 
 pub use codec::{crc64, Dec, Enc, PersistError};
 pub use journal::{encode_record, parse_journal, LoggedOp, ParsedJournal, Record};
-pub use journaled::{write_crashable, Journaled, JournaledScheme, RecoveryReport};
-pub use persistor::{CrashMode, CrashPlan, Persistor, Store};
+pub use journaled::{
+    write_crashable, write_verified_crashable, CheckpointPolicy, Journaled, JournaledScheme,
+    RecoveryReport, MAX_STEPS_PER_WRITE,
+};
+pub use persistor::{
+    decode_marker, encode_marker, CrashMode, CrashPlan, Persistor, Store, MARKER_MAGIC,
+};
 pub use state::{
     decode_line_data, decode_snapshot, encode_line_data, encode_snapshot, expect_tag, tags,
     MetadataState, SNAPSHOT_MAGIC,

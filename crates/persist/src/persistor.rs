@@ -1,26 +1,37 @@
-//! The journaling [`StepSink`] and deterministic power-failure injection.
+//! The journaling [`StepSink`], the dual-slot snapshot store, and
+//! deterministic power-failure injection.
 //!
-//! A [`Persistor`] owns the simulated non-volatile [`Store`] (snapshot +
-//! journal) and implements the record → apply → commit protocol for every
-//! wear-leveling step:
+//! A [`Persistor`] owns the simulated non-volatile [`Store`] (two snapshot
+//! slots + active marker + journal) and implements the record → apply →
+//! commit protocol for every wear-leveling step:
 //!
 //! 1. capture before-images for the step's physical operations,
 //! 2. append a `Step` record (payload + ops) to the journal,
 //! 3. apply the operations to the bank in place,
 //! 4. append a `Commit` marker.
 //!
-//! A [`CrashPlan`] kills the power at a chosen point of that protocol for a
-//! chosen step — mid-append (torn record), between append and apply, halfway
-//! through the apply, after the apply but before the marker, or a configured
-//! number of demand writes after a successful commit. After the crash the
-//! persistor reports `powered() == false` and refuses further steps; the
-//! `Store` holds exactly the bytes and the bank exactly the lines that
-//! survived.
+//! Checkpoint compaction runs a second, crash-safe protocol
+//! ([`Persistor::install_checkpoint`]): the fresh snapshot is written to
+//! the *inactive* slot, the active marker is flipped, and only then is the
+//! journal truncated. Power may die at any of those points — the previous
+//! snapshot plus the untruncated journal always survives, so recovery never
+//! faces a store with no consistent restore path.
+//!
+//! A [`CrashPlan`] kills the power at a chosen point of either protocol for
+//! a chosen step — mid-append (torn record), between append and apply,
+//! halfway through the apply, after the apply but before the marker, a
+//! configured number of demand writes after a successful commit, or at one
+//! of the three checkpoint phases (torn snapshot, torn marker flip,
+//! snapshot-installed-journal-not-truncated). After the crash the persistor
+//! reports `powered() == false` and refuses further steps; the `Store`
+//! holds exactly the bytes and the bank exactly the lines that survived.
 
+use crate::codec::{crc64, Dec, Enc, PersistError};
 use crate::journal::{encode_record, LoggedOp, Record};
 use srbsg_pcm::{ApplySink, Ns, PcmBank, PhysOp, StepSink};
 
-/// Where in the step protocol the injected power failure strikes.
+/// Where in the step or checkpoint protocol the injected power failure
+/// strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrashMode {
     /// The `Step` append itself is cut short: the journal gains a torn,
@@ -47,10 +58,41 @@ pub enum CrashMode {
         /// Demand writes served after the commit before power dies.
         extra_writes: u64,
     },
+    /// Checkpoint phase 1: the snapshot write to the inactive slot is cut
+    /// short. The active marker still names the old slot; recovery replays
+    /// the old snapshot plus the full journal.
+    CheckpointTornSnapshot,
+    /// Checkpoint phase 2: the new snapshot is fully written but the
+    /// active-marker flip is torn. Recovery finds no valid marker and falls
+    /// back to whichever slot yields a consistent restore (the newer one by
+    /// sequence number, the survivor otherwise).
+    CheckpointTornMarker,
+    /// Checkpoint phase 3: snapshot written and marker flipped, but power
+    /// dies before the journal truncation. Recovery must recognize the
+    /// journal's stale prefix (records older than the active snapshot) and
+    /// skip it instead of replaying it twice.
+    CheckpointNotTruncated,
+}
+
+impl CrashMode {
+    /// Whether this mode strikes inside the checkpoint-installation
+    /// protocol rather than the step protocol.
+    pub fn is_checkpoint_phase(self) -> bool {
+        matches!(
+            self,
+            CrashMode::CheckpointTornSnapshot
+                | CrashMode::CheckpointTornMarker
+                | CrashMode::CheckpointNotTruncated
+        )
+    }
 }
 
 /// A deterministic, seedable crash schedule: kill the power at the
 /// `at_step`-th journaled step (1-based), in the manner of `mode`.
+///
+/// Checkpoint-phase modes fire at the first checkpoint installation at or
+/// after the `at_step`-th step record (checkpoints run between demand
+/// writes, so the step counter itself is unaffected).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashPlan {
     /// Which step record triggers the crash (1-based count of `Step`
@@ -61,14 +103,85 @@ pub struct CrashPlan {
     pub mode: CrashMode,
 }
 
-/// The simulated non-volatile metadata device: one snapshot region and one
-/// append-only journal region. Both survive power failure byte-for-byte.
+/// Magic number opening the active-slot marker ("SRMK").
+pub const MARKER_MAGIC: u32 = 0x5352_4D4B;
+
+/// Encode the active-slot marker: `magic u32 | slot u8 | seq u64 | crc64`.
+/// The marker is a tiny NV cell whose write, like any other, can be torn by
+/// a power failure — recovery treats an undecodable marker as absent and
+/// falls back to slot inspection.
+pub fn encode_marker(slot: u8, seq: u64) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.u32(MARKER_MAGIC);
+    enc.u8(slot);
+    enc.u64(seq);
+    let crc = crc64(enc.as_bytes());
+    enc.u64(crc);
+    enc.into_bytes()
+}
+
+/// Decode the active-slot marker, returning `(slot, seq)`. A torn or
+/// bit-flipped marker is an error — the caller falls back to slot
+/// inspection, never to a guessed slot.
+pub fn decode_marker(bytes: &[u8]) -> Result<(u8, u64), PersistError> {
+    let mut dec = Dec::new(bytes);
+    if dec.u32()? != MARKER_MAGIC {
+        return Err(PersistError::Corrupt("bad marker magic"));
+    }
+    let slot = dec.u8()?;
+    if slot > 1 {
+        return Err(PersistError::Corrupt("marker slot out of range"));
+    }
+    let seq = dec.u64()?;
+    let stored_crc = dec.u64()?;
+    dec.finish()?;
+    if crc64(&bytes[..13]) != stored_crc {
+        return Err(PersistError::Corrupt("marker checksum mismatch"));
+    }
+    Ok((slot, seq))
+}
+
+/// The simulated non-volatile metadata device: two snapshot slots, the
+/// active-slot marker, and one append-only journal region. Everything
+/// survives power failure byte-for-byte.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Store {
-    /// The last full metadata snapshot ([`crate::state::encode_snapshot`]).
-    pub snapshot: Vec<u8>,
-    /// The write-ahead journal since that snapshot.
+    /// The two snapshot slots of the dual-slot checkpoint protocol. A
+    /// checkpoint always writes the slot the marker does *not* name, so
+    /// the previous snapshot survives until the new one is fully durable.
+    pub slots: [Vec<u8>; 2],
+    /// The active-slot marker ([`encode_marker`]); possibly torn.
+    pub marker: Vec<u8>,
+    /// The write-ahead journal since the active snapshot (plus a stale
+    /// prefix if power died between the marker flip and the truncation).
     pub journal: Vec<u8>,
+}
+
+impl Store {
+    /// A store holding one snapshot in slot 0, an intact marker naming it,
+    /// and an empty journal.
+    pub fn with_snapshot(snapshot: Vec<u8>, seq: u64) -> Self {
+        Self {
+            marker: encode_marker(0, seq),
+            slots: [snapshot, Vec::new()],
+            journal: Vec::new(),
+        }
+    }
+
+    /// The slot the marker names, if the marker decodes.
+    pub fn active_slot(&self) -> Option<usize> {
+        decode_marker(&self.marker).ok().map(|(s, _)| s as usize)
+    }
+
+    /// Bytes of the active snapshot slot (0 when the marker is torn).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.active_slot().map_or(0, |s| self.slots[s].len() as u64)
+    }
+
+    /// Bytes currently in the journal region.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal.len() as u64
+    }
 }
 
 /// Journaling sink with optional crash injection. See the module docs.
@@ -77,26 +190,37 @@ pub struct Persistor {
     store: Store,
     next_seq: u64,
     steps: u64,
+    active: usize,
     plan: Option<CrashPlan>,
     powered: bool,
     countdown: Option<u64>,
+    checkpoints: u64,
+    checkpoint_bytes: u64,
+    journal_bytes_written: u64,
 }
 
 impl Persistor {
     /// Wrap a store whose next journal record will carry sequence number
-    /// `next_seq`.
+    /// `next_seq`. The active slot is taken from the store's marker
+    /// (slot 0 when the marker is absent or torn — callers coming out of
+    /// recovery always hand over a normalized store with a valid marker).
     pub fn new(store: Store, next_seq: u64) -> Self {
+        let active = store.active_slot().unwrap_or(0);
         Self {
             store,
             next_seq,
             steps: 0,
+            active,
             plan: None,
             powered: true,
             countdown: None,
+            checkpoints: 0,
+            checkpoint_bytes: 0,
+            journal_bytes_written: 0,
         }
     }
 
-    /// The durable store (snapshot + journal) as it stands.
+    /// The durable store (snapshot slots + marker + journal) as it stands.
     pub fn store(&self) -> &Store {
         &self.store
     }
@@ -121,6 +245,24 @@ impl Persistor {
     /// [`CrashPlan::at_step`] is matched against).
     pub fn steps_logged(&self) -> u64 {
         self.steps
+    }
+
+    /// Checkpoints fully installed by this persistor (torn installations
+    /// do not count).
+    pub fn checkpoints_installed(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Cumulative snapshot bytes written by completed checkpoint
+    /// installations — the durability overhead a checkpoint policy pays.
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.checkpoint_bytes
+    }
+
+    /// Cumulative bytes appended to the journal region (not reduced by
+    /// checkpoint truncation).
+    pub fn journal_bytes_written(&self) -> u64 {
+        self.journal_bytes_written
     }
 
     /// Arm a crash plan. Replaces any previous plan.
@@ -162,12 +304,56 @@ impl Persistor {
         false
     }
 
-    /// Replace the snapshot with `snapshot` (already encoded at sequence
-    /// [`Persistor::next_seq`]) and clear the journal.
-    pub fn install_checkpoint(&mut self, snapshot: Vec<u8>) {
-        assert!(self.powered, "checkpoint after power loss");
-        self.store.snapshot = snapshot;
+    fn append_journal(&mut self, bytes: &[u8]) {
+        self.store.journal.extend_from_slice(bytes);
+        self.journal_bytes_written += bytes.len() as u64;
+    }
+
+    /// Install a checkpoint via the crash-safe dual-slot protocol:
+    /// write `snapshot` (already encoded at sequence
+    /// [`Persistor::next_seq`]) to the inactive slot, flip the active
+    /// marker, then truncate the journal.
+    ///
+    /// Returns [`PersistError::PowerLost`] — with the store holding exactly
+    /// what the failure left — when power is already off or an armed
+    /// checkpoint-phase [`CrashPlan`] fires during the installation. A
+    /// checkpoint racing a power cut is an injectable outcome, not a
+    /// panic.
+    pub fn install_checkpoint(&mut self, snapshot: Vec<u8>) -> Result<(), PersistError> {
+        if !self.powered {
+            return Err(PersistError::PowerLost);
+        }
+        let target = 1 - self.active;
+        match self.crash_at_checkpoint() {
+            Some(CrashMode::CheckpointTornSnapshot) => {
+                let keep = (snapshot.len() / 2).max(1);
+                self.store.slots[target] = snapshot[..keep].to_vec();
+                self.powered = false;
+                return Err(PersistError::PowerLost);
+            }
+            Some(CrashMode::CheckpointTornMarker) => {
+                self.store.slots[target] = snapshot;
+                let marker = encode_marker(target as u8, self.next_seq);
+                let keep = (marker.len() / 2).max(1);
+                self.store.marker = marker[..keep].to_vec();
+                self.powered = false;
+                return Err(PersistError::PowerLost);
+            }
+            Some(CrashMode::CheckpointNotTruncated) => {
+                self.store.slots[target] = snapshot;
+                self.store.marker = encode_marker(target as u8, self.next_seq);
+                self.powered = false;
+                return Err(PersistError::PowerLost);
+            }
+            _ => {}
+        }
+        self.checkpoint_bytes += snapshot.len() as u64;
+        self.store.slots[target] = snapshot;
+        self.store.marker = encode_marker(target as u8, self.next_seq);
+        self.active = target;
         self.store.journal.clear();
+        self.checkpoints += 1;
+        Ok(())
     }
 
     /// Append a `Reseed` record (used by recovery re-randomization).
@@ -178,12 +364,27 @@ impl Persistor {
             seed,
         };
         self.next_seq += 1;
-        self.store.journal.extend_from_slice(&encode_record(&rec));
+        let encoded = encode_record(&rec);
+        self.append_journal(&encoded);
     }
 
     fn crash_here(&mut self) -> Option<CrashMode> {
         match self.plan {
-            Some(CrashPlan { at_step, mode }) if at_step == self.steps => {
+            Some(CrashPlan { at_step, mode })
+                if at_step == self.steps && !mode.is_checkpoint_phase() =>
+            {
+                self.plan = None;
+                Some(mode)
+            }
+            _ => None,
+        }
+    }
+
+    fn crash_at_checkpoint(&mut self) -> Option<CrashMode> {
+        match self.plan {
+            Some(CrashPlan { at_step, mode })
+                if mode.is_checkpoint_phase() && self.steps >= at_step =>
+            {
                 self.plan = None;
                 Some(mode)
             }
@@ -216,18 +417,19 @@ impl StepSink for Persistor {
         match self.crash_here() {
             Some(CrashMode::TornRecord) => {
                 let keep = (encoded.len() / 2).max(1);
-                self.store.journal.extend_from_slice(&encoded[..keep]);
+                let torn = encoded[..keep].to_vec();
+                self.append_journal(&torn);
                 self.powered = false;
                 return 0;
             }
             Some(CrashMode::RecordedNotApplied) => {
-                self.store.journal.extend_from_slice(&encoded);
+                self.append_journal(&encoded);
                 self.next_seq += 1;
                 self.powered = false;
                 return 0;
             }
             Some(CrashMode::HalfApplied) => {
-                self.store.journal.extend_from_slice(&encoded);
+                self.append_journal(&encoded);
                 self.next_seq += 1;
                 if let Some(&LoggedOp::Swap { a, b_data, .. }) = logged.first() {
                     bank.write_line(a, b_data);
@@ -236,7 +438,7 @@ impl StepSink for Persistor {
                 return 0;
             }
             Some(CrashMode::AppliedNoMarker) => {
-                self.store.journal.extend_from_slice(&encoded);
+                self.append_journal(&encoded);
                 self.next_seq += 1;
                 ApplySink.commit(bank, payload, ops);
                 self.powered = false;
@@ -245,18 +447,70 @@ impl StepSink for Persistor {
             Some(CrashMode::AfterCommit { extra_writes }) => {
                 self.countdown = Some(extra_writes);
             }
-            None => {}
+            _ => {}
         }
 
         // The normal, crash-free protocol.
-        self.store.journal.extend_from_slice(&encoded);
+        self.append_journal(&encoded);
         self.next_seq += 1;
         let latency = ApplySink.commit(bank, payload, ops);
         let marker = Record::Commit { seq: self.next_seq };
         self.next_seq += 1;
-        self.store
-            .journal
-            .extend_from_slice(&encode_record(&marker));
+        let encoded = encode_record(&marker);
+        self.append_journal(&encoded);
         latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marker_roundtrip_and_every_bit_flip_rejected() {
+        let bytes = encode_marker(1, 0xABCD_EF01);
+        assert_eq!(decode_marker(&bytes).unwrap(), (1, 0xABCD_EF01));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_marker(&bad).is_err(),
+                    "flip at byte {byte} bit {bit} accepted"
+                );
+            }
+        }
+        for cut in 0..bytes.len() {
+            assert!(decode_marker(&bytes[..cut]).is_err(), "torn at {cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_after_power_loss_is_a_typed_error_not_a_panic() {
+        let mut p = Persistor::new(Store::with_snapshot(vec![1, 2, 3], 0), 0);
+        p.power_cut();
+        let before = p.store().clone();
+        assert_eq!(
+            p.install_checkpoint(vec![9, 9, 9]),
+            Err(PersistError::PowerLost)
+        );
+        assert_eq!(p.store(), &before, "a dead checkpoint must be a no-op");
+    }
+
+    #[test]
+    fn completed_checkpoint_alternates_slots_and_truncates() {
+        let mut p = Persistor::new(Store::with_snapshot(vec![1], 0), 0);
+        p.append_reseed(0);
+        assert!(!p.store().journal.is_empty());
+        p.install_checkpoint(vec![2]).unwrap();
+        assert_eq!(p.store().active_slot(), Some(1));
+        assert_eq!(p.store().slots[1], vec![2]);
+        assert_eq!(p.store().slots[0], vec![1], "old slot survives");
+        assert!(p.store().journal.is_empty());
+        p.install_checkpoint(vec![3]).unwrap();
+        assert_eq!(p.store().active_slot(), Some(0));
+        assert_eq!(p.store().slots[0], vec![3]);
+        assert_eq!(p.checkpoints_installed(), 2);
+        assert_eq!(p.checkpoint_bytes_written(), 2);
     }
 }

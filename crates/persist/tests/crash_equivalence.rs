@@ -17,19 +17,33 @@ use rand::{RngExt, SeedableRng};
 use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
 use srbsg_pcm::{LineData, MemoryController, PcmError, TimingModel};
 use srbsg_persist::{
-    write_crashable, CrashMode, CrashPlan, Journaled, JournaledScheme, RecoveryReport,
+    write_crashable, CheckpointPolicy, CrashMode, CrashPlan, Journaled, JournaledScheme,
+    RecoveryReport,
 };
 use srbsg_wearlevel::{
     AdaptiveRbsg, MultiWaySr, Rbsg, SecurityRefresh, StartGap, TwoLevelSr, WriteStreamDetector,
 };
 
-const MODES: [CrashMode; 5] = [
+const MODES: [CrashMode; 8] = [
     CrashMode::TornRecord,
     CrashMode::RecordedNotApplied,
     CrashMode::HalfApplied,
     CrashMode::AppliedNoMarker,
     CrashMode::AfterCommit { extra_writes: 2 },
+    CrashMode::CheckpointTornSnapshot,
+    CrashMode::CheckpointTornMarker,
+    CrashMode::CheckpointNotTruncated,
 ];
+
+/// The checkpoint policy armed for every crash run: compact roughly every
+/// 8 steps, so checkpoint installations are frequent enough for the three
+/// checkpoint-phase crash modes to fire all over the trace, and every
+/// recovery is bounded by the policy's SLO.
+const POLICY_K: u64 = 8;
+
+fn policy() -> CheckpointPolicy {
+    CheckpointPolicy::every_steps(POLICY_K)
+}
 
 /// A trace that hammers one line (forcing frequent remaps in its region)
 /// while also spraying uniform traffic across the space.
@@ -48,7 +62,11 @@ fn trace(lines: u64, n: usize, seed: u64) -> Vec<(u64, LineData)> {
 }
 
 fn fresh<W: JournaledScheme>(mk: &dyn Fn() -> W) -> MemoryController<Journaled<W>> {
-    MemoryController::new(Journaled::new(mk()), u64::MAX, TimingModel::PAPER)
+    MemoryController::new(
+        Journaled::with_policy(mk(), policy()),
+        u64::MAX,
+        TimingModel::PAPER,
+    )
 }
 
 /// Steps the full trace journals when nothing crashes.
@@ -94,14 +112,43 @@ fn check_crash<W: JournaledScheme>(
     let (jw, mut bank) = mc.into_parts();
     assert!(jw.crashed());
     let store = jw.into_store();
-    let (jw2, report) =
-        Journaled::<W>::recover(&store, &mut bank).unwrap_or_else(|e| panic!("{plan:?}: {e}"));
+    let (jw2, report) = Journaled::<W>::recover_with_policy(&store, &mut bank, policy())
+        .unwrap_or_else(|e| panic!("{plan:?}: {e}"));
     match plan.mode {
         CrashMode::TornRecord => {
             assert!(report.torn_bytes > 0, "{plan:?} must leave a torn tail")
         }
         _ => assert_eq!(report.torn_bytes, 0, "{plan:?} must not tear the journal"),
     }
+    match plan.mode {
+        CrashMode::CheckpointTornSnapshot => {
+            // The marker still names the previous slot; no fallback needed.
+            assert!(!report.marker_fallback, "{plan:?}: marker was intact");
+        }
+        CrashMode::CheckpointTornMarker => {
+            // The marker is unreadable; recovery must have inspected the
+            // slots and found the fully-written new snapshot, whose journal
+            // is now entirely a stale prefix.
+            assert!(report.marker_fallback, "{plan:?} must fall back on slots");
+            assert_eq!(report.replayed_steps, 0, "{plan:?}: new snapshot chosen");
+        }
+        CrashMode::CheckpointNotTruncated => {
+            // Snapshot installed, journal stale: recovery skips every
+            // record instead of replaying the checkpointed history twice.
+            assert!(!report.marker_fallback, "{plan:?}: marker was flipped");
+            assert!(report.skipped_steps > 0, "{plan:?} must skip stale records");
+            assert_eq!(report.replayed_steps, 0, "{plan:?}: stale journal only");
+        }
+        _ => {}
+    }
+    // The recovery-time SLO: the armed policy bounds what any crash can
+    // cost, no matter the mode or point.
+    let slo = policy().slo_steps().unwrap();
+    assert!(
+        report.replayed_steps <= slo,
+        "{plan:?}: replayed {} steps, SLO is {slo}",
+        report.replayed_steps
+    );
 
     let mut mc = MemoryController::from_bank(jw2, bank);
     let lines = mc.logical_lines();
@@ -145,16 +192,24 @@ fn sweep<W: JournaledScheme>(mk: &dyn Fn() -> W, writes: &[(u64, LineData)], eve
         vec![1, steps / 2 + 1, steps]
     };
     let mut fired = 0u64;
+    let mut ckpt_fired = 0u64;
     let mut redone = 0u64;
     for &at_step in &points {
         for mode in MODES {
             if let Some(report) = check_crash(mk, writes, CrashPlan { at_step, mode }) {
                 fired += 1;
+                if mode.is_checkpoint_phase() {
+                    ckpt_fired += 1;
+                }
                 redone += report.redone_ops;
             }
         }
     }
     assert!(fired > 0, "no crash plan ever fired");
+    assert!(
+        ckpt_fired > 0,
+        "sweep never caught a checkpoint installation mid-crash"
+    );
     assert!(
         redone > 0,
         "sweep never exercised the uncommitted-step redo path"

@@ -1,9 +1,20 @@
 //! The front-end engine: admission, per-bank queue drain, merge.
 
 use srbsg_parallel::par_map;
-use srbsg_pcm::{LineAddr, MemoryController, MultiBankSystem, Ns, PcmError, WearLeveler};
+use srbsg_pcm::{
+    LineAddr, LineData, MemoryController, MultiBankSystem, Ns, PcmError, WearLeveler, WriteResponse,
+};
+use srbsg_persist::{write_verified_crashable, Journaled, JournaledScheme, PersistError};
 
 use crate::{backoff_ns, Completion, Op, Rejected, Request, ServeConfig, ServeStats, Served};
+
+/// How a bank worker issues a write to its device — the only point where
+/// the plain and the crash-injected serving paths differ.
+type WriteFn<W> =
+    fn(&mut MemoryController<W>, LineAddr, LineData) -> Result<WriteResponse, PcmError>;
+
+/// Whether a bank is dead (powered off) before a command may start.
+type CrashedFn<W> = fn(&MemoryController<W>) -> bool;
 
 /// A bank crossing its quarantine threshold, as observed by its worker.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -130,13 +141,23 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
     /// completions, the internal counters, and the quarantine-event log
     /// are bit-for-bit identical for any `jobs >= 1`.
     pub fn submit_batch(&mut self, batch: Vec<Request>, jobs: usize) -> Vec<Completion> {
+        let (queues, completions) = self.admit(batch);
+        self.drain_merge(
+            queues,
+            completions,
+            jobs,
+            |mc, addr, data| mc.write_verified(addr, data),
+            |_mc| false,
+        )
+    }
+
+    /// Admission: route, then apply quarantine and queue-depth
+    /// backpressure before anything can touch device state.
+    fn admit(&mut self, batch: Vec<Request>) -> (Vec<Vec<Queued>>, Vec<Completion>) {
         let nbanks = self.system.bank_count();
         let lines = self.system.logical_lines();
         let mut queues: Vec<Vec<Queued>> = (0..nbanks).map(|_| Vec::new()).collect();
         let mut completions: Vec<Completion> = Vec::with_capacity(batch.len());
-
-        // Admission: route, then apply quarantine and queue-depth
-        // backpressure before anything can touch device state.
         for req in batch {
             let id = self.next_id;
             self.next_id += 1;
@@ -170,10 +191,23 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
             }
             queues[bank].push(Queued { id, addr, req });
         }
+        (queues, completions)
+    }
 
-        // Drain: one worker per bank. A worker mutates only its own bank,
-        // its own quarantine flag, and its own completion list, so the
-        // fan-out is deterministic for any job count.
+    /// Drain every bank queue on up to `jobs` workers and merge the
+    /// results. One worker per bank: a worker mutates only its own bank,
+    /// its own quarantine flag, and its own completion list, so the
+    /// fan-out is deterministic for any job count. Writes go through
+    /// `write`; a command whose bank reports `crashed` is rejected as a
+    /// [`PcmError::PowerLost`] fault without touching the device.
+    fn drain_merge(
+        &mut self,
+        queues: Vec<Vec<Queued>>,
+        mut completions: Vec<Completion>,
+        jobs: usize,
+        write: WriteFn<W>,
+        crashed: CrashedFn<W>,
+    ) -> Vec<Completion> {
         let cfg = self.cfg;
         let items: Vec<(usize, &mut MemoryController<W>, bool, Vec<Queued>)> = self
             .system
@@ -187,7 +221,11 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
             let mut done = Vec::with_capacity(queue.len());
             let mut event = None;
             for q in queue {
-                let result = serve_one(&cfg, bank, mc, &mut quarantined, &mut event, &q);
+                let result = if crashed(mc) {
+                    Err(Rejected::Fault(PcmError::PowerLost))
+                } else {
+                    serve_one(&cfg, bank, mc, &mut quarantined, &mut event, &q, write)
+                };
                 done.push(Completion { id: q.id, result });
             }
             (bank, quarantined, event, done)
@@ -234,6 +272,53 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
     }
 }
 
+impl<S: JournaledScheme + Send> FrontEnd<Journaled<S>> {
+    /// [`FrontEnd::submit_batch`] over journaled banks with power-failure
+    /// injection live: writes go through
+    /// [`srbsg_persist::write_verified_crashable`], so an armed
+    /// [`srbsg_persist::CrashPlan`] can kill a bank mid-batch. The dying
+    /// request and every later command routed to the dead bank are
+    /// rejected as [`PcmError::PowerLost`] faults — *not* acknowledged —
+    /// while the surviving banks drain normally. Determinism for any
+    /// `jobs` count is unchanged: a crash is per-bank state.
+    pub fn submit_batch_crashable(&mut self, batch: Vec<Request>, jobs: usize) -> Vec<Completion> {
+        let (queues, completions) = self.admit(batch);
+        self.drain_merge(
+            queues,
+            completions,
+            jobs,
+            |mc, addr, data| write_verified_crashable(mc, addr, data),
+            |mc| mc.scheme().crashed(),
+        )
+    }
+
+    /// Checkpoint every bank's journal through the crash-safe dual-slot
+    /// protocol — the graceful-drain step of an orderly restart, so
+    /// recovery after the power cut replays nothing.
+    ///
+    /// Fails with [`PersistError::PowerLost`] if a bank is already dead
+    /// (checkpointing a crashed bank is impossible by design); banks
+    /// before the failing one are still checkpointed.
+    pub fn drain_checkpoint(&mut self) -> Result<(), PersistError> {
+        for mc in self.system.banks_mut() {
+            mc.scheme_mut().checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Banks whose power has been cut (by an injected crash or an explicit
+    /// power cut), in bank order.
+    pub fn crashed_banks(&self) -> Vec<usize> {
+        self.system
+            .banks()
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| mc.scheme().crashed())
+            .map(|(b, _)| b)
+            .collect()
+    }
+}
+
 /// Re-check the quarantine threshold after device-state movement.
 fn maybe_quarantine<W: WearLeveler>(
     cfg: &ServeConfig,
@@ -258,7 +343,11 @@ fn maybe_quarantine<W: WearLeveler>(
     }
 }
 
-/// Serve one queued command against its bank.
+/// Serve one queued command against its bank. Writes are issued through
+/// `write` (plain verified writes, or crash-injected ones for journaled
+/// banks — a [`PcmError::PowerLost`] from it rejects the request
+/// unacknowledged).
+#[allow(clippy::too_many_arguments)]
 fn serve_one<W: WearLeveler>(
     cfg: &ServeConfig,
     bank: usize,
@@ -266,6 +355,7 @@ fn serve_one<W: WearLeveler>(
     quarantined: &mut bool,
     event: &mut Option<QuarantineEvent>,
     q: &Queued,
+    write: WriteFn<W>,
 ) -> Result<Served, Rejected> {
     // Idle the bank up to the request's arrival; a busy bank is already
     // past it and the request waits instead.
@@ -299,7 +389,7 @@ fn serve_one<W: WearLeveler>(
             }
             let mut retries = 0u32;
             loop {
-                match mc.write_verified(q.addr, data) {
+                match write(mc, q.addr, data) {
                     Ok(_resp) => {
                         maybe_quarantine(cfg, bank, mc, quarantined, event);
                         return Ok(Served {
