@@ -59,10 +59,22 @@ impl AiaTableAttack {
     }
 
     /// The logical address the mirror believes is mapped to the target.
+    /// Sweeps the logical space in batched translation windows (the
+    /// attacker runs this after every write, so it is its own hot loop).
     fn find_victim(&self, mirror: &TableWearLeveling) -> LineAddr {
-        (0..mirror.logical_lines())
-            .find(|&la| mirror.translate(la) == self.target_pa)
-            .expect("some line maps to every slot")
+        const WINDOW: u64 = 256;
+        let lines = mirror.logical_lines();
+        let mut slots = Vec::new();
+        let mut base = 0;
+        while base < lines {
+            let las: Vec<LineAddr> = (base..(base + WINDOW).min(lines)).collect();
+            mirror.translate_batch(&las, &mut slots);
+            if let Some(i) = slots.iter().position(|&pa| pa == self.target_pa) {
+                return las[i];
+            }
+            base += WINDOW;
+        }
+        panic!("some line maps to every slot")
     }
 }
 

@@ -296,9 +296,11 @@ mod tests {
         let ia = rnd.encrypt(li);
         let region = ia / n_r;
         let idx = ia % n_r;
-        (0..n_r)
-            .map(|k| rnd.decrypt(region * n_r + (idx + n_r - k % n_r) % n_r))
-            .collect()
+        let mut seq: Vec<u64> = (0..n_r)
+            .map(|k| region * n_r + (idx + n_r - k % n_r) % n_r)
+            .collect();
+        rnd.decrypt_batch(&mut seq);
+        seq
     }
 
     #[test]

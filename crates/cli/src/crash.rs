@@ -287,7 +287,15 @@ fn run_one<W: JournaledScheme>(
     for &(la, data) in &writes[crash_write..] {
         mc.write(la, data);
     }
-    let equivalent = (0..lines).all(|la| mc.read(la).0 == reference.read(la).0);
+    // Whole-space audit through the batched read path (one lane-parallel
+    // translation per controller instead of 2·lines scalar ones).
+    let las: Vec<u64> = (0..lines).collect();
+    let (mut got, mut want) = (Vec::new(), Vec::new());
+    mc.read_batch(&las, &mut got);
+    reference.read_batch(&las, &mut want);
+    let equivalent = las
+        .iter()
+        .all(|&la| got[la as usize].0 == want[la as usize].0);
 
     Some(Outcome {
         crash_write,

@@ -174,9 +174,15 @@ impl DfnMapping {
 
     /// Current LA → IA translation (paper Fig. 10, generalized to track the
     /// parked line explicitly).
+    ///
+    /// # Panics
+    /// Panics — in release builds too — if `la` is outside the logical
+    /// address space. This is a public API boundary: before the check, an
+    /// out-of-range `la` silently indexed the wrong `is_remapped` word (or
+    /// panicked deep inside the bitmap) and returned a bogus slot.
     #[inline]
     pub fn translate(&self, la: u64) -> IaSlot {
-        debug_assert!(la < self.lines);
+        self.check_la(la);
         if self.parked == Some(la) {
             return IaSlot::Spare;
         }
@@ -184,6 +190,57 @@ impl DfnMapping {
             IaSlot::Line(self.enc_c.encrypt(la))
         } else {
             IaSlot::Line(self.enc_p.encrypt(la))
+        }
+    }
+
+    #[inline]
+    fn check_la(&self, la: u64) {
+        assert!(
+            la < self.lines,
+            "DfnMapping::translate: la {la} outside the {}-line logical space",
+            self.lines
+        );
+    }
+
+    /// Batch variant of [`DfnMapping::translate`], element-wise identical
+    /// (asserted by the batch property tests) with the Feistel work
+    /// lane-parallel: the batch is split by the `isRemap` bit into the
+    /// `Kc` and `Kp` sub-batches (the parked line, if present, short-
+    /// circuits to [`IaSlot::Spare`]), each sub-batch runs through
+    /// [`FeistelNetwork::encrypt_batch`], and the images are scattered
+    /// back in original order. `out` is cleared and refilled with one slot
+    /// per input address.
+    ///
+    /// # Panics
+    /// Panics if any address is out of range, like
+    /// [`DfnMapping::translate`] — the whole batch is validated before any
+    /// translation work.
+    pub fn translate_batch(&self, las: &[u64], out: &mut Vec<IaSlot>) {
+        out.clear();
+        out.resize(las.len(), IaSlot::Spare);
+        let mut kc = Vec::new();
+        let mut kc_pos: Vec<u32> = Vec::new();
+        let mut kp = Vec::new();
+        let mut kp_pos: Vec<u32> = Vec::new();
+        for (i, &la) in las.iter().enumerate() {
+            self.check_la(la);
+            if self.parked == Some(la) {
+                // `out[i]` is already `IaSlot::Spare`.
+            } else if self.remapped(la) {
+                kc.push(la);
+                kc_pos.push(i as u32);
+            } else {
+                kp.push(la);
+                kp_pos.push(i as u32);
+            }
+        }
+        self.enc_c.encrypt_batch(&mut kc);
+        self.enc_p.encrypt_batch(&mut kp);
+        for (j, &i) in kc_pos.iter().enumerate() {
+            out[i as usize] = IaSlot::Line(kc[j]);
+        }
+        for (j, &i) in kp_pos.iter().enumerate() {
+            out[i as usize] = IaSlot::Line(kp[j]);
         }
     }
 
@@ -590,5 +647,50 @@ mod tests {
                 "implausible movement count {moves}"
             );
         }
+    }
+
+    /// The batched translation must agree with the scalar path at every
+    /// remap phase: mid-cycle (parked line present), between cycles, and
+    /// at round boundaries.
+    #[test]
+    fn batch_translate_matches_scalar_through_rounds() {
+        let mut dfn = DfnMapping::new(5, 3, 9);
+        let las: Vec<u64> = (0..dfn.lines()).collect();
+        let mut out = Vec::new();
+        for step in 0..300 {
+            dfn.translate_batch(&las, &mut out);
+            for (i, &la) in las.iter().enumerate() {
+                assert_eq!(out[i], dfn.translate(la), "step {step}, la {la}");
+            }
+            dfn.advance();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 32-line logical space")]
+    fn translate_rejects_out_of_range_la() {
+        let dfn = DfnMapping::new(5, 3, 1);
+        dfn.translate(32);
+    }
+
+    /// Release-profile duplicate of `translate_rejects_out_of_range_la`:
+    /// the whole point of promoting the `debug_assert!` is that the check
+    /// fires with debug assertions compiled out. The CI heavy step runs
+    /// exactly the `#[ignore]`d tests under `--release` (`cargo test
+    /// --release -- --ignored`), giving this coverage in both profiles.
+    #[test]
+    #[ignore = "release-profile duplicate; run by the CI heavy step via --ignored"]
+    #[should_panic(expected = "outside the 32-line logical space")]
+    fn translate_rejects_out_of_range_la_release() {
+        let dfn = DfnMapping::new(5, 3, 1);
+        dfn.translate(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 16-line logical space")]
+    fn translate_batch_rejects_out_of_range_la() {
+        let dfn = DfnMapping::new(4, 3, 1);
+        let mut out = Vec::new();
+        dfn.translate_batch(&[0, 3, 16], &mut out);
     }
 }

@@ -217,6 +217,15 @@ impl WearLeveler for SecurityRbsg {
         self.resolve(self.dfn.translate(la))
     }
 
+    fn translate_batch(&self, las: &[LineAddr], out: &mut Vec<LineAddr>) {
+        // Outer DFN level runs lane-parallel; the inner Start-Gap hop is
+        // pure arithmetic and stays scalar.
+        let mut slots = Vec::with_capacity(las.len());
+        self.dfn.translate_batch(las, &mut slots);
+        out.clear();
+        out.extend(slots.iter().map(|&s| self.resolve(s)));
+    }
+
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
         self.step_if_due(la, bank, &mut ApplySink)
     }

@@ -181,7 +181,13 @@ struct RaaCore<S: StaySink> {
     cfg: SrbsgParams,
     rng: SmallRng,
     sink: S,
-    enc_p: FeistelNetwork,
+    /// The hammered LA's image under the previous round's keys. The
+    /// engine translates exactly one pinned address per key, and each
+    /// round's `enc_c` becomes the next round's `enc_p` — so caching the
+    /// single image (instead of the whole network) halves the Feistel
+    /// work per round, bit-identically: the constructor still draws the
+    /// initial network from the same RNG position.
+    ia_p: u64,
     total_writes: u128,
     failed: bool,
     la: u64,
@@ -205,16 +211,17 @@ impl RaaEngine {
 impl<S: StaySink> RaaCore<S> {
     fn with_sink(params: PcmParams, cfg: SrbsgParams, seed: u64, sink: S) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
+        let la = 0;
         let enc_p = FeistelNetwork::random(&mut rng, params.width(), cfg.stages);
         Self {
             params,
             cfg,
             rng,
             sink,
-            enc_p,
+            ia_p: enc_p.encrypt(la),
             total_writes: 0,
             failed: false,
-            la: 0,
+            la,
         }
     }
 
@@ -249,7 +256,7 @@ impl<S: StaySink> RaaCore<S> {
         // enc_c image at a uniformly random point of the round (gap-chase
         // order is key-random).
         let enc_c = FeistelNetwork::random(&mut self.rng, self.params.width(), self.cfg.stages);
-        let ia_p = self.enc_p.encrypt(self.la);
+        let ia_p = self.ia_p;
         let ia_c = enc_c.encrypt(self.la);
         let flip = self.rng.random_range(0.0..1.0f64);
         let mut w1 = (round_writes as f64 * flip) as u64;
@@ -268,7 +275,7 @@ impl<S: StaySink> RaaCore<S> {
         }
         self.deposit_stay(ia_p / n_r, w1);
         self.deposit_stay(ia_c / n_r, w2);
-        self.enc_p = enc_c;
+        self.ia_p = ia_c;
         !self.failed
     }
 }

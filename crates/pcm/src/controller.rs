@@ -150,6 +150,12 @@ impl<W: WearLeveler> MemoryController<W> {
         self.wl.translate(la)
     }
 
+    /// Batched LA → physical-slot mapping (white-box; see
+    /// [`WearLeveler::translate_batch`]).
+    pub fn translate_batch(&self, las: &[LineAddr], out: &mut Vec<LineAddr>) {
+        self.wl.translate_batch(las, out)
+    }
+
     /// Advance the simulated clock without touching the bank (used by
     /// front-end structures such as [`crate::BufferedController`] to account
     /// latencies they absorb).
@@ -267,6 +273,47 @@ impl<W: WearLeveler> MemoryController<W> {
     /// [`MemoryController::try_read`] for a typed error instead.
     pub fn read(&mut self, la: LineAddr) -> (LineData, Ns) {
         self.try_read(la)
+            .expect("demand read outside the logical address space")
+    }
+
+    /// Service a batch of demand reads through one lane-parallel address
+    /// translation. `out` is cleared and refilled with the per-read
+    /// `(data, latency)` pairs, in request order and identical to
+    /// back-to-back [`MemoryController::try_read`] calls; the summed
+    /// latency (also returned) advances the clock once at the end, which
+    /// is equivalent because reads never mutate the mapping and latency
+    /// sums are associative. The one observable difference from the
+    /// scalar loop: an out-of-range address anywhere in the batch rejects
+    /// the *whole* batch before any read is serviced.
+    pub fn try_read_batch(
+        &mut self,
+        las: &[LineAddr],
+        out: &mut Vec<(LineData, Ns)>,
+    ) -> Result<Ns, PcmError> {
+        for &la in las {
+            self.check_la(la)?;
+        }
+        let mut slots = Vec::with_capacity(las.len());
+        self.wl.translate_batch(las, &mut slots);
+        let translation = self.bank.timing().translation_ns as Ns;
+        let mut total = 0;
+        out.clear();
+        out.reserve(slots.len());
+        for &slot in &slots {
+            let (data, mut latency) = self.bank.read_line_timed(slot);
+            latency += translation;
+            total += latency;
+            out.push((data, latency));
+        }
+        self.now += total;
+        Ok(total)
+    }
+
+    /// Service a batch of demand reads. Panics on an out-of-range
+    /// address; use [`MemoryController::try_read_batch`] for a typed
+    /// error instead.
+    pub fn read_batch(&mut self, las: &[LineAddr], out: &mut Vec<(LineData, Ns)>) -> Ns {
+        self.try_read_batch(las, out)
             .expect("demand read outside the logical address space")
     }
 
@@ -597,6 +644,30 @@ mod tests {
         let err = b.try_write_with(0, LineData::Ones, |_, _| Err(PcmError::PowerLost));
         assert!(matches!(err, Err(PcmError::PowerLost)));
         assert_eq!((b.now_ns(), b.demand_writes()), before);
+    }
+
+    #[test]
+    fn read_batch_equals_sequential_reads() {
+        let mut a = MemoryController::new(ToyGap::new(8, 3), 1_000_000, TimingModel::PAPER);
+        let mut b = MemoryController::new(ToyGap::new(8, 3), 1_000_000, TimingModel::PAPER);
+        for la in 0..8 {
+            a.write(la, LineData::Mixed(la as u32));
+            b.write(la, LineData::Mixed(la as u32));
+        }
+        let las: Vec<LineAddr> = (0..16).map(|i| (i * 5) % 8).collect();
+        let seq: Vec<(LineData, Ns)> = las.iter().map(|&la| a.read(la)).collect();
+        let mut batch = Vec::new();
+        let total = b.read_batch(&las, &mut batch);
+        assert_eq!(batch, seq);
+        assert_eq!(total, seq.iter().map(|&(_, ns)| ns).sum::<Ns>());
+        assert_eq!(a.now_ns(), b.now_ns());
+        // Typed rejection happens before any read is serviced.
+        let before = b.now_ns();
+        assert!(matches!(
+            b.try_read_batch(&[0, 99], &mut batch),
+            Err(PcmError::AddressOutOfRange { la: 99, .. })
+        ));
+        assert_eq!(b.now_ns(), before);
     }
 
     #[test]

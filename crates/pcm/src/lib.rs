@@ -147,6 +147,16 @@ pub trait WearLeveler {
     /// Current mapping of a logical address to a physical slot.
     fn translate(&self, la: LineAddr) -> LineAddr;
 
+    /// Batch variant of [`WearLeveler::translate`]: `out` is cleared and
+    /// refilled with `translate(la)` for each address in order. Schemes
+    /// with lane-parallel translation kernels (Security RBSG's batched
+    /// Feistel network) override this; the default is the scalar loop, so
+    /// every implementation stays element-wise identical to `translate`.
+    fn translate_batch(&self, las: &[LineAddr], out: &mut Vec<LineAddr>) {
+        out.clear();
+        out.extend(las.iter().map(|&la| self.translate(la)));
+    }
+
     /// Account one demand write to `la` and perform any remap movement that
     /// becomes due, returning the extra latency those movements impose on
     /// this request. Called *before* the demand write is serviced, so the
@@ -183,6 +193,9 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
     }
     fn translate(&self, la: LineAddr) -> LineAddr {
         (**self).translate(la)
+    }
+    fn translate_batch(&self, las: &[LineAddr], out: &mut Vec<LineAddr>) {
+        (**self).translate_batch(las, out)
     }
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
         (**self).before_write(la, bank)

@@ -493,6 +493,9 @@ impl<W: JournaledScheme> WearLeveler for Journaled<W> {
     fn translate(&self, la: LineAddr) -> LineAddr {
         self.scheme.translate(la)
     }
+    fn translate_batch(&self, las: &[LineAddr], out: &mut Vec<LineAddr>) {
+        self.scheme.translate_batch(las, out)
+    }
     fn before_write(&mut self, la: LineAddr, bank: &mut PcmBank) -> Ns {
         // Crash-armed runs must go through `write_crashable`, which aborts
         // the demand write when the plan fires; the plain path is for

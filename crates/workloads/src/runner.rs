@@ -83,25 +83,64 @@ impl ShardedRunReport {
     }
 }
 
+/// Read-batch window for the shard drivers: how many consecutive read
+/// events are accumulated into one lane-parallel
+/// [`MemoryController::read_batch`] call. Overridable via the
+/// `SRBSG_READ_BATCH` environment variable (values < 1 are ignored);
+/// `1` selects the scalar per-event path.
+fn read_batch_window() -> usize {
+    std::env::var("SRBSG_READ_BATCH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(256)
+}
+
 /// Drive one bank's shard: reads and tagged writes, clock advanced by the
 /// trace's compute gaps (1 GHz core — one cycle is one nanosecond), until
 /// the event budget runs out or the bank fails.
-fn drive_bank<W: WearLeveler, T: TraceGenerator>(
+///
+/// Runs of consecutive reads (up to `window` of them) are serviced by one
+/// batched translation. This is outcome-identical to the per-event loop
+/// for any window: reads never mutate the mapping, and clock gaps and
+/// read latencies are pure sums, so deferring `advance_clock` to the
+/// flush point lands every counter on the same value (asserted by
+/// `read_windows_are_outcome_identical` and the CI scalar-vs-batch CSV
+/// diffs).
+fn drive_bank_with_window<W: WearLeveler, T: TraceGenerator>(
     bank: usize,
     mc: &mut MemoryController<W>,
     trace: &mut T,
     events: u64,
+    window: usize,
 ) -> ShardOutcome {
     let lines = mc.logical_lines();
     let mut tag: u32 = 0;
     let (mut accesses, mut reads, mut writes) = (0u64, 0u64, 0u64);
     let mut failed_at_write = None;
+    let mut pending: Vec<u64> = Vec::with_capacity(window);
+    let mut pending_gap: Ns = 0;
+    let mut results: Vec<(LineData, Ns)> = Vec::with_capacity(window);
+    macro_rules! flush_reads {
+        () => {
+            if !pending.is_empty() {
+                mc.advance_clock(std::mem::take(&mut pending_gap));
+                if pending.len() == 1 {
+                    let _ = mc.read(pending[0]);
+                } else {
+                    mc.read_batch(&pending, &mut results);
+                }
+                pending.clear();
+            }
+        };
+    }
     for _ in 0..events {
         let a = trace.next_access();
         accesses += 1;
-        mc.advance_clock(a.gap_cycles as Ns);
         let addr = a.addr % lines;
         if a.is_write {
+            flush_reads!();
+            mc.advance_clock(a.gap_cycles as Ns);
             tag = tag.wrapping_add(1);
             writes += 1;
             if mc.write(addr, LineData::Mixed(tag)).failed {
@@ -110,9 +149,19 @@ fn drive_bank<W: WearLeveler, T: TraceGenerator>(
             }
         } else {
             reads += 1;
-            let _ = mc.read(addr);
+            if window == 1 {
+                mc.advance_clock(a.gap_cycles as Ns);
+                let _ = mc.read(addr);
+            } else {
+                pending_gap += a.gap_cycles as Ns;
+                pending.push(addr);
+                if pending.len() >= window {
+                    flush_reads!();
+                }
+            }
         }
     }
+    flush_reads!();
     ShardOutcome {
         bank,
         accesses,
@@ -121,6 +170,16 @@ fn drive_bank<W: WearLeveler, T: TraceGenerator>(
         failed_at_write,
         now_ns: mc.now_ns(),
     }
+}
+
+/// [`drive_bank_with_window`] at the environment-selected window.
+fn drive_bank<W: WearLeveler, T: TraceGenerator>(
+    bank: usize,
+    mc: &mut MemoryController<W>,
+    trace: &mut T,
+    events: u64,
+) -> ShardOutcome {
+    drive_bank_with_window(bank, mc, trace, events, read_batch_window())
 }
 
 impl ShardedTraceRunner {
@@ -320,6 +379,43 @@ mod tests {
         let mut sys = system(3, 600);
         let got = r.run(&mut sys, &make, 2);
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn read_windows_are_outcome_identical() {
+        // Read-heavy trace so batching actually engages; every window,
+        // including the scalar window 1, must land every counter, clock,
+        // and wear value on the same place.
+        let spec = WorkloadSpec::Zipf {
+            s: 1.2,
+            write_ratio: 0.2,
+            mean_gap: 10,
+        };
+        let make = |_bank: usize, lines: u64, seed: u64| spec.build(lines, seed);
+        let r = runner(3_000);
+        let drive = |window: usize| {
+            let mut sys = system(2, 1_000_000_000);
+            let lines = sys.banks()[0].logical_lines();
+            let outcomes: Vec<ShardOutcome> = sys
+                .banks_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(b, mc)| {
+                    let mut trace = make(b, lines, shard_seed(r.master_seed, b));
+                    drive_bank_with_window(b, mc, &mut trace, r.events_per_bank, window)
+                })
+                .collect();
+            let wear: Vec<Vec<u64>> = sys
+                .banks()
+                .iter()
+                .map(|b| b.bank().wear().to_vec())
+                .collect();
+            (outcomes, wear)
+        };
+        let reference = drive(1);
+        for window in [2usize, 3, 7, 256] {
+            assert_eq!(drive(window), reference, "window={window}");
+        }
     }
 
     #[test]
