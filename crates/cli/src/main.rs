@@ -25,7 +25,12 @@
 //!             verified recovery, re-keying, checkpoint-interval sweep
 //!   crashfuzz Randomized crash-under-load fuzzing: power cuts during
 //!             serve replay, re-keyed restart, SLO + equivalence checks
-//!   all       Everything above
+//!   servebin  Real-process chaos harness for the srbsg-server binary:
+//!             malformed-frame fuzz, open-loop bench, SIGKILL + SIGTERM
+//!             mid-load with restart, zero-lost-acked-writes audit
+//!             (requires the srbsg-server/srbsg-loadgen binaries to be
+//!             built; not part of `all`)
+//!   all       Everything above except servebin
 //! ```
 //!
 //! `--quick` shrinks the platform (2^18 lines, 10^6 endurance) so the whole
@@ -53,6 +58,7 @@ mod normal;
 mod overhead;
 mod perf;
 mod serve;
+mod servebin;
 mod table;
 
 use srbsg_lifetime::PcmParams;
@@ -143,6 +149,7 @@ fn main() {
         "serve" => serve::run(&opts),
         "crash" => crash::run(&opts),
         "crashfuzz" => crashfuzz::run(&opts),
+        "servebin" => servebin::run(&opts),
         "all" => {
             fig11::run(&opts);
             fig12::run(&opts);
@@ -168,7 +175,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|crashfuzz|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|crashfuzz|servebin|all> \
          [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);

@@ -1,0 +1,362 @@
+//! The disk shelf: the server's durable state file.
+//!
+//! The in-memory persistence layer (`srbsg-persist`) already models
+//! crash-safe checkpoints and journals inside a [`Store`]; what a real
+//! process needs on top is getting that store — plus the simulated PCM
+//! array it journals *about* — onto disk so the state survives `SIGKILL`.
+//!
+//! The shelf uses one atomic state file per data directory, replaced by
+//! **write-to-temp + rename**. The rename is the commit point: a reader
+//! always observes either the old file or the new file, never a torn mix,
+//! so a `SIGKILL` at any byte offset of the write leaves a consistent
+//! image. (Surviving kernel-level power loss additionally needs
+//! `fsync`, which the server enables with `--fsync`; for process-kill
+//! chaos the page cache persists and the rename alone is sufficient.)
+//!
+//! Ordering contract with the serving path: a write is acknowledged to
+//! the client only **after** the shelf save that contains it returns, so
+//! "acked" implies "on the shelf" implies "recoverable".
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use srbsg_pcm::{LineData, Ns, PcmBank};
+use srbsg_persist::{crc64, decode_line_data, encode_line_data, Dec, Enc, PersistError, Store};
+
+const MAGIC: u64 = 0x5342_5347_5348_4C46; // "SBSGSHLF"
+const VERSION: u32 = 1;
+
+/// Durable image of one bank: its persistence store plus the PCM array
+/// contents the store's journal refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankShelf {
+    /// The persistence store (dual snapshot slots, marker, journal).
+    pub store: Store,
+    /// Addressable slot count of the bank.
+    pub slots: u64,
+    /// Per-slot line contents.
+    pub data: Vec<LineData>,
+    /// Per-slot wear counters.
+    pub wear: Vec<u64>,
+    /// The SRAM-backed slot, if marked.
+    pub sram_slot: Option<u64>,
+}
+
+impl BankShelf {
+    /// Capture a bank's durable image.
+    pub fn capture(store: &Store, bank: &PcmBank) -> Self {
+        let slots = bank.slots();
+        let data = (0..slots).map(|s| bank.read_line(s)).collect();
+        let wear = (0..slots).map(|s| bank.wear_of(s)).collect();
+        Self {
+            store: store.clone(),
+            slots,
+            data,
+            wear,
+            sram_slot: bank.sram_slot(),
+        }
+    }
+
+    /// Rebuild a physical bank from the captured image. The bank is
+    /// reconstructed fault-free (the chaos harness injects process kills,
+    /// not cell faults): contents and wear counters match the capture.
+    pub fn restore_bank(&self, endurance: u64, timing: srbsg_pcm::TimingModel) -> PcmBank {
+        let mut bank = PcmBank::new(self.slots, endurance, timing);
+        if let Some(s) = self.sram_slot {
+            bank.mark_sram(s);
+        }
+        for slot in 0..self.slots {
+            let want = self.data[slot as usize];
+            if bank.read_line(slot) != want {
+                bank.write_line(slot, want);
+            }
+            let have = bank.wear_of(slot);
+            bank.add_wear(slot, self.wear[slot as usize].saturating_sub(have));
+        }
+        bank
+    }
+
+    fn encode(&self, enc: &mut Enc) {
+        for part in [
+            &self.store.slots[0],
+            &self.store.slots[1],
+            &self.store.marker,
+            &self.store.journal,
+        ] {
+            enc.u64(part.len() as u64);
+            enc.bytes(part);
+        }
+        enc.u64(self.slots);
+        for &d in &self.data {
+            encode_line_data(enc, d);
+        }
+        for &w in &self.wear {
+            enc.u64(w);
+        }
+        match self.sram_slot {
+            None => enc.u8(0),
+            Some(s) => {
+                enc.u8(1);
+                enc.u64(s);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec) -> Result<Self, PersistError> {
+        let mut parts = Vec::with_capacity(4);
+        for _ in 0..4 {
+            let len = dec.u64()? as usize;
+            parts.push(dec.take(len)?.to_vec());
+        }
+        let journal = parts.pop().unwrap();
+        let marker = parts.pop().unwrap();
+        let slot1 = parts.pop().unwrap();
+        let slot0 = parts.pop().unwrap();
+        let store = Store {
+            slots: [slot0, slot1],
+            marker,
+            journal,
+        };
+        let slots = dec.u64()?;
+        if slots > 1 << 32 {
+            return Err(PersistError::Corrupt("implausible bank slot count"));
+        }
+        let mut data = Vec::with_capacity(slots as usize);
+        for _ in 0..slots {
+            data.push(decode_line_data(dec)?);
+        }
+        let mut wear = Vec::with_capacity(slots as usize);
+        for _ in 0..slots {
+            wear.push(dec.u64()?);
+        }
+        let sram_slot = match dec.u8()? {
+            0 => None,
+            1 => Some(dec.u64()?),
+            _ => return Err(PersistError::Corrupt("bad sram flag")),
+        };
+        Ok(Self {
+            store,
+            slots,
+            data,
+            wear,
+            sram_slot,
+        })
+    }
+}
+
+/// Durable image of the whole server device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShelfState {
+    /// Restart generation: 0 for a fresh store, +1 per recovery. Feeds
+    /// the re-key seed so every power session maps differently.
+    pub generation: u64,
+    /// The configured base Security RBSG seed.
+    pub seed: u64,
+    /// The simulated device clock at capture time.
+    pub now_ns: Ns,
+    /// Writes acknowledged over the server's lifetime (all generations).
+    pub acked_writes: u64,
+    /// Per-bank images.
+    pub banks: Vec<BankShelf>,
+}
+
+impl ShelfState {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.u64(MAGIC);
+        enc.u32(VERSION);
+        enc.u64(self.generation);
+        enc.u64(self.seed);
+        enc.u64((self.now_ns >> 64) as u64);
+        enc.u64(self.now_ns as u64);
+        enc.u64(self.acked_writes);
+        enc.u32(self.banks.len() as u32);
+        for b in &self.banks {
+            b.encode(&mut enc);
+        }
+        let mut bytes = enc.into_bytes();
+        let crc = crc64(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, PersistError> {
+        if bytes.len() < 8 {
+            return Err(PersistError::Truncated);
+        }
+        let (payload, crc_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc64(payload) != stored {
+            return Err(PersistError::Corrupt("shelf checksum mismatch"));
+        }
+        let mut dec = Dec::new(payload);
+        if dec.u64()? != MAGIC {
+            return Err(PersistError::Corrupt("bad shelf magic"));
+        }
+        if dec.u32()? != VERSION {
+            return Err(PersistError::Corrupt("unsupported shelf version"));
+        }
+        let generation = dec.u64()?;
+        let seed = dec.u64()?;
+        let now_hi = dec.u64()?;
+        let now_lo = dec.u64()?;
+        let acked_writes = dec.u64()?;
+        let nbanks = dec.u32()? as usize;
+        if nbanks > 4096 {
+            return Err(PersistError::Corrupt("implausible bank count"));
+        }
+        let mut banks = Vec::with_capacity(nbanks);
+        for _ in 0..nbanks {
+            banks.push(BankShelf::decode(&mut dec)?);
+        }
+        dec.finish()?;
+        Ok(Self {
+            generation,
+            seed,
+            now_ns: ((now_hi as Ns) << 64) | now_lo as Ns,
+            acked_writes,
+            banks,
+        })
+    }
+}
+
+/// Handle on a data directory holding the state file.
+#[derive(Debug, Clone)]
+pub struct DiskShelf {
+    dir: PathBuf,
+    fsync: bool,
+}
+
+impl DiskShelf {
+    /// Open (creating if needed) the data directory at `dir`. With
+    /// `fsync`, every save is flushed through the page cache — needed to
+    /// survive power loss, not needed to survive process kills.
+    pub fn open(dir: &Path, fsync: bool) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fsync,
+        })
+    }
+
+    /// The state file path.
+    pub fn state_path(&self) -> PathBuf {
+        self.dir.join("state.bin")
+    }
+
+    /// Path of a small sidecar file (endpoint advertisement, pid file).
+    pub fn sidecar(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Atomically replace the state file with `state`.
+    pub fn save(&self, state: &ShelfState) -> io::Result<()> {
+        let bytes = state.encode();
+        let tmp = self.dir.join("state.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut f, &bytes)?;
+            if self.fsync {
+                f.sync_all()?;
+            }
+        }
+        fs::rename(&tmp, self.state_path())?;
+        if self.fsync {
+            // Persist the rename itself.
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Load the state file: `Ok(None)` when absent (fresh start),
+    /// `Err` when present but unreadable or corrupt.
+    pub fn load(&self) -> io::Result<Option<ShelfState>> {
+        let bytes = match fs::read(self.state_path()) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        ShelfState::decode(&bytes)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srbsg_pcm::TimingModel;
+
+    fn sample_state() -> ShelfState {
+        let mut bank = PcmBank::new(16, 1_000_000, TimingModel::PAPER);
+        bank.mark_sram(15);
+        bank.write_line(3, LineData::Ones);
+        bank.write_line(4, LineData::Mixed(77));
+        bank.add_wear(9, 5);
+        let store = Store {
+            slots: [vec![1, 2, 3], vec![]],
+            marker: vec![9; 16],
+            journal: vec![4, 5, 6, 7],
+        };
+        ShelfState {
+            generation: 3,
+            seed: 0xABCD,
+            now_ns: (7 << 64) | 42,
+            acked_writes: 1234,
+            banks: vec![BankShelf::capture(&store, &bank)],
+        }
+    }
+
+    #[test]
+    fn shelf_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("srbsg_shelf_{}", std::process::id()));
+        let shelf = DiskShelf::open(&dir, false).unwrap();
+        assert_eq!(shelf.load().unwrap(), None);
+        let state = sample_state();
+        shelf.save(&state).unwrap();
+        assert_eq!(shelf.load().unwrap(), Some(state.clone()));
+        // Saving again replaces atomically.
+        let mut state2 = state;
+        state2.generation += 1;
+        shelf.save(&state2).unwrap();
+        assert_eq!(shelf.load().unwrap().unwrap().generation, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_state_file_is_a_typed_load_error() {
+        let dir = std::env::temp_dir().join(format!("srbsg_shelf_bad_{}", std::process::id()));
+        let shelf = DiskShelf::open(&dir, false).unwrap();
+        shelf.save(&sample_state()).unwrap();
+        let mut bytes = fs::read(shelf.state_path()).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(shelf.state_path(), &bytes).unwrap();
+        let err = shelf.load().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_state_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("srbsg_shelf_trunc_{}", std::process::id()));
+        let shelf = DiskShelf::open(&dir, false).unwrap();
+        shelf.save(&sample_state()).unwrap();
+        let bytes = fs::read(shelf.state_path()).unwrap();
+        fs::write(shelf.state_path(), &bytes[..bytes.len() - 3]).unwrap();
+        assert!(shelf.load().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restored_bank_matches_capture() {
+        let state = sample_state();
+        let b = &state.banks[0];
+        let bank = b.restore_bank(1_000_000, TimingModel::PAPER);
+        let recap = BankShelf::capture(&b.store, &bank);
+        assert_eq!(&recap, b);
+    }
+}

@@ -1,0 +1,226 @@
+//! Wire-protocol hardening properties, mirroring the journal-parser
+//! proptests: arbitrary bytes never panic the frame decoder, random
+//! truncation is "incomplete" (never a wrong decode), any bit flip is a
+//! typed error or detectably incomplete, garbage never lets a following
+//! valid frame be mis-framed, and encode→decode round-trips exactly.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use srbsg_pcm::LineData;
+use srbsg_server::proto::{
+    encode_request, encode_response, ErrCode, FrameReader, RequestFrame, ResponseFrame, StatsWire,
+    WireRequest, WireResponse,
+};
+
+fn random_request(rng: &mut StdRng, i: u32) -> RequestFrame {
+    let req = match rng.random::<u32>() % 4 {
+        0 => WireRequest::Read {
+            la: rng.random::<u64>() % 1024,
+        },
+        1 => WireRequest::Write {
+            la: rng.random::<u64>() % 1024,
+            data: match rng.random::<u32>() % 3 {
+                0 => LineData::Zeros,
+                1 => LineData::Ones,
+                _ => LineData::Mixed(rng.random::<u32>()),
+            },
+        },
+        2 => WireRequest::Ping,
+        _ => WireRequest::Stats,
+    };
+    RequestFrame {
+        req_id: ((i as u64) << 32) | (rng.random::<u64>() % u32::MAX as u64),
+        req,
+    }
+}
+
+fn random_response(rng: &mut StdRng, i: u32) -> ResponseFrame {
+    let resp = match rng.random::<u32>() % 5 {
+        0 => WireResponse::ReadOk {
+            data: LineData::Mixed(rng.random::<u32>()),
+            latency_ns: rng.random::<u64>(),
+        },
+        1 => WireResponse::WriteOk {
+            retries: rng.random::<u32>() % 8,
+            latency_ns: rng.random::<u64>(),
+        },
+        2 => WireResponse::Pong,
+        3 => WireResponse::StatsOk(StatsWire {
+            generation: rng.random::<u64>() % 100,
+            served_writes: rng.random::<u64>(),
+            malformed_frames: rng.random::<u64>(),
+            ..StatsWire::default()
+        }),
+        _ => WireResponse::Err {
+            code: match rng.random::<u32>() % 9 {
+                0 => ErrCode::QueueFull,
+                1 => ErrCode::DeadlineExceeded,
+                2 => ErrCode::BankQuarantined,
+                3 => ErrCode::RetriesExhausted,
+                4 => ErrCode::DeviceFault,
+                5 => ErrCode::AddressOutOfRange,
+                6 => ErrCode::Overloaded,
+                7 => ErrCode::ShuttingDown,
+                _ => ErrCode::BadFrame,
+            },
+            aux: rng.random::<u64>(),
+        },
+    };
+    ResponseFrame {
+        req_id: i as u64,
+        resp,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the reader; every poll outcome is
+    /// a decoded frame, "incomplete", or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        while let Ok(Some(_)) = r.next_request() {}
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        while let Ok(Some(_)) = r.next_response() {}
+    }
+
+    /// Encode→decode round-trips exactly for a whole pipelined stream of
+    /// random requests, regardless of how the bytes are fragmented.
+    #[test]
+    fn request_stream_roundtrip(seed in any::<u64>(), n in 1usize..12, frag in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames: Vec<RequestFrame> = (0..n as u32).map(|i| random_request(&mut rng, i)).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            encode_request(&mut bytes, f);
+        }
+        let mut r = FrameReader::new();
+        let mut decoded = Vec::new();
+        for chunk in bytes.chunks(frag) {
+            r.extend(chunk);
+            while let Some(f) = r.next_request().expect("valid stream must decode") {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert!(!r.mid_frame());
+    }
+
+    /// Same round-trip property for response streams.
+    #[test]
+    fn response_stream_roundtrip(seed in any::<u64>(), n in 1usize..12, frag in 1usize..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames: Vec<ResponseFrame> = (0..n as u32).map(|i| random_response(&mut rng, i)).collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            encode_response(&mut bytes, f);
+        }
+        let mut r = FrameReader::new();
+        let mut decoded = Vec::new();
+        for chunk in bytes.chunks(frag) {
+            r.extend(chunk);
+            while let Some(f) = r.next_response().expect("valid stream must decode") {
+                decoded.push(f);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+    }
+
+    /// Corruption class 1 — truncation: cutting a valid stream anywhere
+    /// yields exactly the frames wholly before the cut, then "incomplete".
+    /// Never an error, never a wrong frame.
+    #[test]
+    fn truncation_yields_exact_prefix(seed in any::<u64>(), n in 1usize..8, cut_frac in 0.0..1.0f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames: Vec<RequestFrame> = (0..n as u32).map(|i| random_request(&mut rng, i)).collect();
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for f in &frames {
+            encode_request(&mut bytes, f);
+            boundaries.push(bytes.len());
+        }
+        let cut = (((bytes.len() + 1) as f64 * cut_frac) as usize).min(bytes.len());
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        let mut r = FrameReader::new();
+        r.extend(&bytes[..cut]);
+        for f in &frames[..whole] {
+            prop_assert_eq!(r.next_request().expect("prefix decodes"), Some(*f));
+        }
+        prop_assert_eq!(r.next_request().expect("tail is incomplete, not an error"), None);
+        prop_assert_eq!(r.mid_frame(), cut > boundaries[whole]);
+    }
+
+    /// Corruption class 2 — bit flips: flipping any bit of a valid frame
+    /// never panics and never decodes to a *different* frame. A flip in
+    /// the length prefix may leave the reader waiting (the frame deadline
+    /// handles that); a flip announcing an oversized/undersized body or
+    /// corrupting the payload is a typed error.
+    #[test]
+    fn bit_flip_is_error_or_detectably_incomplete(
+        seed in any::<u64>(),
+        byte_sel in any::<usize>(),
+        bit in 0usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = random_request(&mut rng, 0);
+        let mut bytes = Vec::new();
+        encode_request(&mut bytes, &frame);
+        let byte = byte_sel % bytes.len();
+        bytes[byte] ^= 1 << bit;
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        match r.next_request() {
+            Err(_) => {}
+            Ok(None) => prop_assert!(byte < 4, "flip at {byte} silently swallowed"),
+            Ok(Some(got)) => prop_assert!(false, "flip at {byte} decoded as {got:?}"),
+        }
+    }
+
+    /// Corruption class 3 — garbage prefix: random leading bytes produce
+    /// a typed error (or a plausible length that stays incomplete), and a
+    /// rejected stream NEVER yields a frame afterwards: the reader sticks
+    /// to its error instead of resynchronizing into the middle of a valid
+    /// frame that follows.
+    #[test]
+    fn garbage_prefix_never_misframes_a_following_request(
+        garbage in proptest::collection::vec(any::<u8>(), 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let valid = random_request(&mut rng, 7);
+        let mut bytes = garbage.clone();
+        encode_request(&mut bytes, &valid);
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        let mut decoded = Vec::new();
+        let errored = loop {
+            match r.next_request() {
+                Ok(Some(f)) => decoded.push(f),
+                Ok(None) => break false,
+                Err(_) => break true,
+            }
+        };
+        if errored {
+            // After a typed error the connection closes; the reader must
+            // keep refusing rather than resync mid-stream.
+            prop_assert!(r.next_request().is_err() || decoded.is_empty());
+            for f in &decoded {
+                // Anything decoded before the error must be byte-exact
+                // valid frames, and with a garbage prefix there are none
+                // that equal the appended frame by accident of resync.
+                prop_assert_eq!(f.req_id, valid.req_id);
+            }
+        } else {
+            // No error means the garbage parsed as plausible length
+            // prefixes: everything decoded must still be a *real* frame,
+            // not a misframed slice.
+            for f in &decoded {
+                prop_assert_eq!(*f, valid);
+            }
+        }
+    }
+}

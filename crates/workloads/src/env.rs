@@ -1,0 +1,117 @@
+//! Strict parsing for `SRBSG_*` environment knobs.
+//!
+//! Environment variables are the silent-failure channel of a long-running
+//! system: a typo'd `SRBSG_READ_BATCH=256k` that quietly falls back to a
+//! default is a misconfiguration nobody notices until the numbers are
+//! wrong. Every `SRBSG_*` knob therefore goes through this module, which
+//! distinguishes the three cases explicitly:
+//!
+//! * **unset** — the knob was not provided; the caller's default applies;
+//! * **valid** — the value parses and satisfies the knob's lower bound;
+//! * **malformed** — anything else (empty string, non-numeric garbage,
+//!   a value below the bound such as `0` for a batch window) is a
+//!   diagnostic **error naming the variable and the offending value**,
+//!   never a silent fallback.
+
+/// Parse one knob value (already read from the environment). `min` is the
+/// smallest admissible value; the error string names the variable, the
+/// raw value, and the constraint — ready to surface to an operator.
+pub fn parse_usize_knob(name: &str, raw: &str, min: usize) -> Result<usize, String> {
+    if raw.is_empty() {
+        return Err(format!(
+            "{name} is set but empty; unset it or provide an integer >= {min}"
+        ));
+    }
+    let v: usize = raw
+        .parse()
+        .map_err(|_| format!("{name} must be an integer >= {min}, got {raw:?}"))?;
+    if v < min {
+        return Err(format!("{name} must be >= {min}, got {v}"));
+    }
+    Ok(v)
+}
+
+/// Read knob `name` strictly: `Ok(None)` when unset, `Ok(Some(v))` when
+/// set and valid, `Err(diagnostic)` when set and malformed.
+pub fn usize_knob(name: &str, min: usize) -> Result<Option<usize>, String> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(v)) => {
+            Err(format!("{name} is not valid unicode: {v:?}"))
+        }
+        Ok(raw) => parse_usize_knob(name, &raw, min).map(Some),
+    }
+}
+
+/// [`usize_knob`] with a default for the unset case, panicking with the
+/// diagnostic on a malformed value. Hot paths that cannot return an error
+/// (trace drivers, server startup) use this: a malformed knob is an
+/// operator mistake that must stop the run loudly, not skew it silently.
+pub fn usize_knob_or(name: &str, min: usize, default: usize) -> usize {
+    match usize_knob(name, min) {
+        Ok(v) => v.unwrap_or(default),
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_parse() {
+        assert_eq!(parse_usize_knob("K", "1", 1), Ok(1));
+        assert_eq!(parse_usize_knob("K", "256", 1), Ok(256));
+        assert_eq!(parse_usize_knob("K", "0", 0), Ok(0));
+    }
+
+    #[test]
+    fn empty_is_a_diagnostic_error() {
+        let err = parse_usize_knob("SRBSG_READ_BATCH", "", 1).unwrap_err();
+        assert!(err.contains("SRBSG_READ_BATCH"), "{err}");
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn garbage_is_a_diagnostic_error() {
+        for bad in ["abc", "256k", "1.5", "-1", " 1", "1 ", "0x10"] {
+            let err = parse_usize_knob("SRBSG_READ_BATCH", bad, 1).unwrap_err();
+            assert!(err.contains("SRBSG_READ_BATCH"), "{bad:?}: {err}");
+            assert!(
+                err.contains(bad.trim()) || err.contains(bad),
+                "{bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_below_the_bound_is_rejected_not_defaulted() {
+        let err = parse_usize_knob("SRBSG_READ_BATCH", "0", 1).unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+    }
+
+    #[test]
+    fn one_selects_the_scalar_path() {
+        assert_eq!(parse_usize_knob("SRBSG_READ_BATCH", "1", 1), Ok(1));
+    }
+
+    #[test]
+    fn env_reads_unset_set_and_malformed() {
+        // Unique variable names: tests in this binary run concurrently.
+        assert_eq!(usize_knob("SRBSG_TEST_KNOB_UNSET_XYZZY", 1), Ok(None));
+
+        std::env::set_var("SRBSG_TEST_KNOB_VALID_XYZZY", "17");
+        assert_eq!(usize_knob("SRBSG_TEST_KNOB_VALID_XYZZY", 1), Ok(Some(17)));
+        assert_eq!(usize_knob_or("SRBSG_TEST_KNOB_VALID_XYZZY", 1, 3), 17);
+
+        std::env::set_var("SRBSG_TEST_KNOB_BAD_XYZZY", "banana");
+        assert!(usize_knob("SRBSG_TEST_KNOB_BAD_XYZZY", 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "SRBSG_TEST_KNOB_PANIC_XYZZY")]
+    fn knob_or_panics_with_the_variable_name() {
+        std::env::set_var("SRBSG_TEST_KNOB_PANIC_XYZZY", "0");
+        let _ = usize_knob_or("SRBSG_TEST_KNOB_PANIC_XYZZY", 1, 256);
+    }
+}

@@ -86,14 +86,13 @@ impl ShardedRunReport {
 /// Read-batch window for the shard drivers: how many consecutive read
 /// events are accumulated into one lane-parallel
 /// [`MemoryController::read_batch`] call. Overridable via the
-/// `SRBSG_READ_BATCH` environment variable (values < 1 are ignored);
-/// `1` selects the scalar per-event path.
+/// `SRBSG_READ_BATCH` environment variable; `1` selects the scalar
+/// per-event path. A malformed or out-of-range value (empty, garbage,
+/// `0`) is a configuration error and panics with a diagnostic naming the
+/// variable — it is never silently replaced by the default (see
+/// [`crate::env`]).
 fn read_batch_window() -> usize {
-    std::env::var("SRBSG_READ_BATCH")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&w| w >= 1)
-        .unwrap_or(256)
+    crate::env::usize_knob_or("SRBSG_READ_BATCH", 1, 256)
 }
 
 /// Drive one bank's shard: reads and tagged writes, clock advanced by the
