@@ -25,6 +25,10 @@
 //!             verified recovery, re-keying, checkpoint-interval sweep
 //!   crashfuzz Randomized crash-under-load fuzzing: power cuts during
 //!             serve replay, re-keyed restart, SLO + equivalence checks
+//!   storagefuzz Deterministic storage-fault fuzzing of the persistence
+//!             stack under load: short writes, transient EIO, ENOSPC,
+//!             fsync lies, rename failures, bit rot — with retry healing,
+//!             scrub healing, read-only degradation, equivalence checks
 //!   servebin  Real-process chaos harness for the srbsg-server binary:
 //!             malformed-frame fuzz, open-loop bench, SIGKILL + SIGTERM
 //!             mid-load with restart, zero-lost-acked-writes audit
@@ -59,6 +63,7 @@ mod overhead;
 mod perf;
 mod serve;
 mod servebin;
+mod storagefuzz;
 mod table;
 
 use srbsg_lifetime::PcmParams;
@@ -149,6 +154,7 @@ fn main() {
         "serve" => serve::run(&opts),
         "crash" => crash::run(&opts),
         "crashfuzz" => crashfuzz::run(&opts),
+        "storagefuzz" => storagefuzz::run(&opts),
         "servebin" => servebin::run(&opts),
         "all" => {
             fig11::run(&opts);
@@ -166,6 +172,7 @@ fn main() {
             serve::run(&opts);
             crash::run(&opts);
             crashfuzz::run(&opts);
+            storagefuzz::run(&opts);
         }
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -175,7 +182,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|crashfuzz|servebin|all> \
+        "usage: experiments <fig11|fig12|fig13|fig14|fig15|fig16|overhead|perf|detect|normal|ablation|faults|serve|crash|crashfuzz|storagefuzz|servebin|all> \
          [--quick] [--seeds N] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);

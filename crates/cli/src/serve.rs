@@ -319,6 +319,8 @@ fn replay(
                     a.retries += attempts.saturating_sub(1) as u64;
                 }
                 Err(Rejected::Fault(_)) => a.rej_fault += 1,
+                // This harness never degrades the front-end to read-only.
+                Err(Rejected::ReadOnly) => unreachable!("read-only mode is never enabled here"),
             }
             if let Op::Write(data) = req.op {
                 if c.touched_device(true) {

@@ -47,6 +47,7 @@ pub struct FrontEnd<W: WearLeveler> {
     releases: Vec<QuarantineEvent>,
     stats: ServeStats,
     next_id: u64,
+    read_only: bool,
 }
 
 impl<W: WearLeveler + Send> FrontEnd<W> {
@@ -61,6 +62,7 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
             releases: Vec::new(),
             stats: ServeStats::default(),
             next_id: 0,
+            read_only: false,
         }
     }
 
@@ -99,6 +101,20 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
     /// its clock, and the spare pressure *after* replenishment.
     pub fn release_events(&self) -> &[QuarantineEvent] {
         &self.releases
+    }
+
+    /// Whether the front-end is in read-only degradation.
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Enter or leave read-only degradation. While set, every write is
+    /// shed at admission with [`Rejected::ReadOnly`] — before it can touch
+    /// device state — and reads keep being served. The engine flips this
+    /// when durable storage reports persistent ENOSPC: a write that cannot
+    /// be made durable must never be acknowledged.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
     }
 
     /// Add `extra` fresh spare lines to `bank`'s pool, and lift its
@@ -168,6 +184,13 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
                         la: req.la,
                         lines,
                     })),
+                });
+                continue;
+            }
+            if self.read_only && matches!(req.op, Op::Write(_)) {
+                completions.push(Completion {
+                    id,
+                    result: Err(Rejected::ReadOnly),
                 });
                 continue;
             }
@@ -267,6 +290,7 @@ impl<W: WearLeveler + Send> FrontEnd<W> {
                 self.stats.rejected_retries += 1;
                 self.stats.retries += attempts.saturating_sub(1) as u64;
             }
+            Err(Rejected::ReadOnly) => self.stats.rejected_read_only += 1,
             Err(Rejected::Fault(_)) => self.stats.rejected_fault += 1,
         }
     }

@@ -111,6 +111,11 @@ pub enum Rejected {
         /// Total write issues, including the first.
         attempts: u32,
     },
+    /// The serving tier is in read-only degradation: durable storage
+    /// cannot accept new state (persistent ENOSPC on the shelf), so writes
+    /// are shed at admission — acknowledging them could lose them — while
+    /// reads keep being served. The device was not touched.
+    ReadOnly,
     /// A non-transient device error (e.g. address out of range).
     Fault(PcmError),
 }

@@ -25,6 +25,9 @@ pub struct ServeStats {
     pub rejected_retries: u64,
     /// Requests rejected with a non-transient device error.
     pub rejected_fault: u64,
+    /// Writes shed because the front-end was in read-only degradation
+    /// (durable storage out of space).
+    pub rejected_read_only: u64,
 }
 
 impl ServeStats {
@@ -40,6 +43,7 @@ impl ServeStats {
             + self.rejected_quarantine
             + self.rejected_retries
             + self.rejected_fault
+            + self.rejected_read_only
     }
 
     /// Fraction of submitted requests that were rejected.

@@ -539,3 +539,63 @@ fn exhausted_bank_stays_quarantined_after_replenishment() {
     );
     assert!(fe.release_events().is_empty());
 }
+
+#[test]
+fn read_only_mode_sheds_writes_and_serves_reads() {
+    let sys = rbsg_system(2, 1_000_000);
+    let mut fe = FrontEnd::new(sys, inert_policy());
+    // Land a write while the tier is healthy.
+    let done = fe.submit_batch(
+        vec![Request {
+            la: 3,
+            op: Op::Write(LineData::Mixed(7)),
+            arrival_ns: 0,
+            deadline_ns: Ns::MAX,
+        }],
+        1,
+    );
+    assert!(done[0].result.is_ok());
+
+    fe.set_read_only(true);
+    assert!(fe.read_only());
+    let done = fe.submit_batch(
+        vec![
+            Request {
+                la: 3,
+                op: Op::Write(LineData::Mixed(9)),
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            },
+            Request {
+                la: 3,
+                op: Op::Read,
+                arrival_ns: 0,
+                deadline_ns: Ns::MAX,
+            },
+        ],
+        1,
+    );
+    // The write is shed with the typed reason before touching the device;
+    // the read still serves the pre-degradation value.
+    assert_eq!(done[0].result, Err(Rejected::ReadOnly));
+    match &done[1].result {
+        Ok(s) => assert_eq!(s.data, Some(LineData::Mixed(7))),
+        other => panic!("read failed in read-only mode: {other:?}"),
+    }
+    assert!(!done[0].result.unwrap_err().touched_device());
+    assert_eq!(fe.stats().rejected_read_only, 1);
+    assert_eq!(fe.stats().rejected(), 1);
+
+    // Leaving read-only restores write service.
+    fe.set_read_only(false);
+    let done = fe.submit_batch(
+        vec![Request {
+            la: 3,
+            op: Op::Write(LineData::Mixed(11)),
+            arrival_ns: 0,
+            deadline_ns: Ns::MAX,
+        }],
+        1,
+    );
+    assert!(done[0].result.is_ok());
+}

@@ -55,7 +55,7 @@ use crate::proto::{
     encode_response, ErrCode, FrameReader, RequestFrame, ResponseFrame, StatsWire, WireRequest,
     WireResponse,
 };
-use crate::shelf::{BankShelf, DiskShelf, ShelfState};
+use crate::shelf::{save_with_healing, BankShelf, DiskShelf, RetryPolicy, SaveOutcome, ShelfState};
 
 /// The scheme stack a server bank runs.
 pub type ServerScheme = Journaled<SecurityRbsg>;
@@ -138,6 +138,11 @@ pub struct BootReport {
     pub rekey_movements: u64,
     /// Acked writes carried over from previous generations.
     pub acked_writes: u64,
+    /// Shelf save counter committed at boot; the engine continues from
+    /// the next value.
+    pub save_seq: u64,
+    /// Whether the load scrub healed a damaged shelf copy.
+    pub healed_shelf_slot: bool,
 }
 
 struct SharedStats {
@@ -153,6 +158,7 @@ struct SharedStats {
     shed_retries: AtomicU64,
     shed_fault: AtomicU64,
     shed_overload: AtomicU64,
+    shed_read_only: AtomicU64,
     malformed_frames: AtomicU64,
     draining: AtomicBool,
 }
@@ -172,6 +178,7 @@ impl SharedStats {
             shed_retries: AtomicU64::new(0),
             shed_fault: AtomicU64::new(0),
             shed_overload: AtomicU64::new(0),
+            shed_read_only: AtomicU64::new(0),
             malformed_frames: AtomicU64::new(0),
             draining: AtomicBool::new(false),
         }
@@ -192,6 +199,7 @@ impl SharedStats {
             shed_retries: g(&self.shed_retries),
             shed_fault: g(&self.shed_fault),
             shed_overload: g(&self.shed_overload),
+            shed_read_only: g(&self.shed_read_only),
             malformed_frames: g(&self.malformed_frames),
             draining: self.draining.load(Ordering::Relaxed) as u64,
         }
@@ -225,9 +233,16 @@ fn policy(cfg: &ServerConfig) -> CheckpointPolicy {
     CheckpointPolicy::every_steps(cfg.checkpoint_every)
 }
 
-fn capture(fe: &FrontEnd<ServerScheme>, generation: u64, seed: u64, acked: u64) -> ShelfState {
+fn capture(
+    fe: &FrontEnd<ServerScheme>,
+    save_seq: u64,
+    generation: u64,
+    seed: u64,
+    acked: u64,
+) -> ShelfState {
     let sys = fe.system();
     ShelfState {
+        save_seq,
         generation,
         seed,
         now_ns: sys.now_ns(),
@@ -247,9 +262,12 @@ fn capture(fe: &FrontEnd<ServerScheme>, generation: u64, seed: u64, acked: u64) 
 pub fn boot(
     cfg: &ServerConfig,
 ) -> std::io::Result<(FrontEnd<ServerScheme>, DiskShelf, BootReport)> {
-    let shelf = DiskShelf::open(&cfg.data_dir, cfg.fsync)?;
+    let mut shelf = DiskShelf::open(&cfg.data_dir, cfg.fsync)?;
     let pol = policy(cfg);
-    match shelf.load()? {
+    // `ShelfError` is typed: a corrupt image, a truncated image, and a
+    // failing medium each surface distinctly in the operator log.
+    let loaded = shelf.load().map_err(std::io::Error::from)?;
+    match loaded {
         None => {
             let banks = (0..cfg.banks)
                 .map(|b| {
@@ -263,16 +281,31 @@ pub fn boot(
                 })
                 .collect();
             let fe = FrontEnd::new(MultiBankSystem::from_controllers(banks), cfg.serve);
-            let report = BootReport::default();
-            shelf.save(&capture(&fe, 0, cfg.seed, 0))?;
+            let report = BootReport {
+                save_seq: 1,
+                ..BootReport::default()
+            };
+            shelf.save(&capture(&fe, 1, 0, cfg.seed, 0))?;
             Ok((fe, shelf, report))
         }
-        Some(state) => {
+        Some((state, scrub)) => {
+            if let Some(slot) = scrub.healed_slot {
+                eprintln!(
+                    "srbsg-server: shelf scrub healed copy {} ({}) from the survivor",
+                    slot,
+                    scrub
+                        .damage
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "unknown damage".into()),
+                );
+            }
             let generation = state.generation + 1;
             let mut report = BootReport {
                 generation,
                 recovered: true,
                 acked_writes: state.acked_writes,
+                save_seq: state.save_seq + 1,
+                healed_shelf_slot: scrub.healed_slot.is_some(),
                 ..BootReport::default()
             };
             let mut banks = Vec::with_capacity(state.banks.len());
@@ -295,7 +328,13 @@ pub fn boot(
                 banks.push(mc);
             }
             let fe = FrontEnd::new(MultiBankSystem::from_controllers(banks), cfg.serve);
-            shelf.save(&capture(&fe, generation, state.seed, state.acked_writes))?;
+            shelf.save(&capture(
+                &fe,
+                report.save_seq,
+                generation,
+                state.seed,
+                state.acked_writes,
+            ))?;
             Ok((fe, shelf, report))
         }
     }
@@ -319,6 +358,10 @@ fn reject_to_wire(rej: &Rejected, stats: &SharedStats) -> (ErrCode, u64) {
             stats.shed_retries.fetch_add(1, Ordering::Relaxed);
             (ErrCode::RetriesExhausted, *attempts as u64)
         }
+        Rejected::ReadOnly => {
+            stats.shed_read_only.fetch_add(1, Ordering::Relaxed);
+            (ErrCode::ReadOnly, 0)
+        }
         Rejected::Fault(PcmError::AddressOutOfRange { la, .. }) => {
             stats.shed_fault.fetch_add(1, Ordering::Relaxed);
             (ErrCode::AddressOutOfRange, *la)
@@ -340,6 +383,8 @@ struct EngineState {
     generation: u64,
     seed: u64,
     acked_writes: u64,
+    save_seq: u64,
+    read_only: bool,
 }
 
 fn engine_loop(
@@ -384,24 +429,48 @@ fn engine_loop(
             .zip(&msgs)
             .filter(|(c, m)| c.result.is_ok() && matches!(m.op, Op::Write(_)))
             .count() as u64;
+        // Acks must not outrun durability: a batch with fresh write acks
+        // is saved *before* its responses dispatch, with self-healing —
+        // transient media errors are retried away; persistent ENOSPC
+        // degrades the tier to typed read-only shedding; anything else
+        // refuses the acks and drains.
         let mut persist_failed = false;
+        let mut entered_read_only = false;
         if new_acks > 0 {
             st.acked_writes += new_acks;
-            let snap = capture(&st.fe, st.generation, st.seed, st.acked_writes);
-            if let Err(e) = st.shelf.save(&snap) {
-                // Acks must not outrun durability: fail the writes of this
-                // batch and drain, rather than acknowledging state that a
-                // crash would lose.
-                eprintln!("srbsg-server: shelf save failed, draining: {e}");
-                st.acked_writes -= new_acks;
-                persist_failed = true;
-                os::request_shutdown();
+            st.save_seq += 1;
+            let snap = capture(&st.fe, st.save_seq, st.generation, st.seed, st.acked_writes);
+            match save_with_healing(&mut st.shelf, &snap, &RetryPolicy::default()) {
+                SaveOutcome::Saved { attempts } => {
+                    if attempts > 1 {
+                        eprintln!(
+                            "srbsg-server: shelf save healed after {attempts} attempts (transient media errors)"
+                        );
+                    }
+                }
+                SaveOutcome::ReadOnly(e) => {
+                    eprintln!(
+                        "srbsg-server: shelf out of space ({e}); degrading to read-only serving"
+                    );
+                    st.acked_writes -= new_acks;
+                    st.save_seq -= 1;
+                    entered_read_only = true;
+                    st.read_only = true;
+                    st.fe.set_read_only(true);
+                }
+                SaveOutcome::Failed(e) => {
+                    eprintln!("srbsg-server: shelf save failed, draining: {e}");
+                    st.acked_writes -= new_acks;
+                    st.save_seq -= 1;
+                    persist_failed = true;
+                    os::request_shutdown();
+                }
             }
         }
 
         for (c, m) in completions.iter().zip(&msgs) {
             let is_write = matches!(m.op, Op::Write(_));
-            let resp = match (&c.result, persist_failed && is_write) {
+            let resp = match (&c.result, (persist_failed || entered_read_only) && is_write) {
                 (Ok(s), false) => {
                     if is_write {
                         shared.stats.served_writes.fetch_add(1, Ordering::Relaxed);
@@ -421,10 +490,17 @@ fn engine_loop(
                         }
                     }
                 }
-                (Ok(_), true) => WireResponse::Err {
-                    code: ErrCode::ShuttingDown,
-                    aux: 0,
-                },
+                (Ok(_), true) => {
+                    // The device applied this write but durability failed:
+                    // the ack is refused with the typed reason.
+                    let code = if entered_read_only {
+                        shared.stats.shed_read_only.fetch_add(1, Ordering::Relaxed);
+                        ErrCode::ReadOnly
+                    } else {
+                        ErrCode::ShuttingDown
+                    };
+                    WireResponse::Err { code, aux: 0 }
+                }
                 (Err(rej), _) => {
                     let (code, aux) = reject_to_wire(rej, &shared.stats);
                     WireResponse::Err { code, aux }
@@ -442,13 +518,22 @@ fn engine_loop(
     }
 
     // Drain finale: compact journals into checkpoints and commit the
-    // final image. Reached only when every connection has flushed.
+    // final image. Reached only when every connection has flushed. A
+    // read-only tier tolerates the final save failing for space — its
+    // durable state is exactly the last successful save, by construction.
     st.fe
         .drain_checkpoint()
         .map_err(|e| std::io::Error::other(format!("{e:?}")))?;
-    st.shelf
-        .save(&capture(&st.fe, st.generation, st.seed, st.acked_writes))?;
-    Ok(())
+    st.save_seq += 1;
+    let finale = capture(&st.fe, st.save_seq, st.generation, st.seed, st.acked_writes);
+    match save_with_healing(&mut st.shelf, &finale, &RetryPolicy::default()) {
+        SaveOutcome::Saved { .. } => Ok(()),
+        SaveOutcome::ReadOnly(e) if st.read_only => {
+            eprintln!("srbsg-server: final save skipped, shelf still out of space: {e}");
+            Ok(())
+        }
+        SaveOutcome::ReadOnly(e) | SaveOutcome::Failed(e) => Err(e.into()),
+    }
 }
 
 fn writer_loop(mut stream: Stream, rx: mpsc::Receiver<WriterMsg>, inflight: Arc<AtomicU64>) {
@@ -678,6 +763,8 @@ pub fn run(cfg: ServerConfig) -> std::io::Result<i32> {
             generation: boot_report.generation,
             seed: cfg.seed,
             acked_writes: boot_report.acked_writes,
+            save_seq: boot_report.save_seq,
+            read_only: false,
         };
         let shared = shared.clone();
         let cfg = cfg.clone();
@@ -759,7 +846,7 @@ mod tests {
     fn boot_fresh_then_recover_preserves_contents() {
         let cfg = test_cfg(&format!("srbsg_boot_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cfg.data_dir);
-        let (mut fe, shelf, rep) = boot(&cfg).unwrap();
+        let (mut fe, mut shelf, rep) = boot(&cfg).unwrap();
         assert_eq!(rep.generation, 0);
         assert!(!rep.recovered);
 
@@ -775,7 +862,7 @@ mod tests {
             .collect();
         let comps = fe.submit_batch(reqs, 1);
         assert!(comps.iter().all(|c| c.result.is_ok()));
-        shelf.save(&capture(&fe, 0, cfg.seed, 8)).unwrap();
+        shelf.save(&capture(&fe, 2, 0, cfg.seed, 8)).unwrap();
         let expect: Vec<LineData> = (0..lines)
             .map(|la| fe.system_mut().try_read(la).unwrap().0)
             .collect();
@@ -797,8 +884,8 @@ mod tests {
     fn recovery_rekeys_the_mapping() {
         let cfg = test_cfg(&format!("srbsg_rekey_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&cfg.data_dir);
-        let (fe, shelf, _) = boot(&cfg).unwrap();
-        shelf.save(&capture(&fe, 0, cfg.seed, 0)).unwrap();
+        let (fe, mut shelf, _) = boot(&cfg).unwrap();
+        shelf.save(&capture(&fe, 2, 0, cfg.seed, 0)).unwrap();
         drop(fe);
         let (_fe2, _s, rep) = boot(&cfg).unwrap();
         assert!(rep.recovered);

@@ -42,4 +42,7 @@ pub use proto::{
     decode_request, decode_response, encode_request, encode_response, ErrCode, FrameError,
     FrameReader, RequestFrame, ResponseFrame, StatsWire, WireRequest, WireResponse,
 };
-pub use shelf::{BankShelf, DiskShelf, ShelfState};
+pub use shelf::{
+    save_with_healing, BankShelf, DiskShelf, RetryPolicy, SaveOutcome, ShelfError, ShelfScrub,
+    ShelfState, SHELF_SLOTS,
+};

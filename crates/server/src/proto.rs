@@ -101,7 +101,9 @@ fn structural(e: PersistError) -> FrameError {
     match e {
         PersistError::Truncated => FrameError::Malformed("payload truncated"),
         PersistError::Corrupt(what) => FrameError::Malformed(what),
-        PersistError::PowerLost => FrameError::Malformed("impossible decode error"),
+        PersistError::PowerLost | PersistError::Media(_) => {
+            FrameError::Malformed("impossible decode error")
+        }
     }
 }
 
@@ -130,6 +132,9 @@ pub enum ErrCode {
     /// The request frame was malformed; the connection closes after this
     /// response.
     BadFrame = 9,
+    /// The server is in read-only degradation (durable storage out of
+    /// space): writes are shed before touching the device, reads serve.
+    ReadOnly = 10,
 }
 
 impl TryFrom<u8> for ErrCode {
@@ -145,6 +150,7 @@ impl TryFrom<u8> for ErrCode {
             7 => ErrCode::Overloaded,
             8 => ErrCode::ShuttingDown,
             9 => ErrCode::BadFrame,
+            10 => ErrCode::ReadOnly,
             _ => return Err(FrameError::Malformed("unknown error code")),
         })
     }
@@ -225,6 +231,9 @@ pub struct StatsWire {
     /// Requests shed with [`ErrCode::Overloaded`] (in-flight cap) plus
     /// connections refused at the connection cap.
     pub shed_overload: u64,
+    /// Writes shed with [`ErrCode::ReadOnly`] (storage-space
+    /// degradation).
+    pub shed_read_only: u64,
     /// Malformed frames received (each closed its connection).
     pub malformed_frames: u64,
     /// 1 while the server is draining for shutdown.
@@ -232,7 +241,7 @@ pub struct StatsWire {
 }
 
 impl StatsWire {
-    const FIELDS: usize = 14;
+    const FIELDS: usize = 15;
 
     fn encode(&self, enc: &mut Enc) {
         for v in [
@@ -248,6 +257,7 @@ impl StatsWire {
             self.shed_retries,
             self.shed_fault,
             self.shed_overload,
+            self.shed_read_only,
             self.malformed_frames,
             self.draining,
         ] {
@@ -273,8 +283,9 @@ impl StatsWire {
             shed_retries: v[9],
             shed_fault: v[10],
             shed_overload: v[11],
-            malformed_frames: v[12],
-            draining: v[13],
+            shed_read_only: v[12],
+            malformed_frames: v[13],
+            draining: v[14],
         })
     }
 }

@@ -1,31 +1,51 @@
-//! The disk shelf: the server's durable state file.
+//! The disk shelf: the server's durable state, on pluggable media.
 //!
 //! The in-memory persistence layer (`srbsg-persist`) already models
 //! crash-safe checkpoints and journals inside a [`Store`]; what a real
 //! process needs on top is getting that store — plus the simulated PCM
-//! array it journals *about* — onto disk so the state survives `SIGKILL`.
+//! array it journals *about* — onto durable media so the state survives
+//! `SIGKILL`. The shelf is written against the [`Media`] trait, so the
+//! same protocol runs over a real directory ([`srbsg_persist::DirMedia`]),
+//! the in-memory medium, or a deterministic fault injector
+//! ([`srbsg_persist::FaultyMedia`]).
 //!
-//! The shelf uses one atomic state file per data directory, replaced by
-//! **write-to-temp + rename**. The rename is the commit point: a reader
-//! always observes either the old file or the new file, never a torn mix,
-//! so a `SIGKILL` at any byte offset of the write leaves a consistent
-//! image. (Surviving kernel-level power loss additionally needs
-//! `fsync`, which the server enables with `--fsync`; for process-kill
-//! chaos the page cache persists and the rename alone is sufficient.)
+//! Because real media also *rot* (at-rest bit flips discovered only on
+//! reload), the shelf keeps **two** full copies of the state, `state.a`
+//! and `state.b`, each replaced by write-to-temp + rename with a
+//! durability barrier between the data write and the commit rename. A save
+//! returns only after both slots hold the new state and a **doubled**
+//! commit barrier has succeeded — under the single-fault model, one lying
+//! fsync can never leave a reported-durable save unflushed, because an
+//! honest barrier always runs after the last mutation. On load,
+//! [`DiskShelf::load`] CRC-validates both slots, serves the newest valid
+//! one, and **heals** a damaged slot by rewriting it from the survivor
+//! (the scrub is reported to the operator, typed as corruption vs
+//! truncation).
 //!
 //! Ordering contract with the serving path: a write is acknowledged to
 //! the client only **after** the shelf save that contains it returns, so
-//! "acked" implies "on the shelf" implies "recoverable".
+//! "acked" implies "on the shelf, twice" implies "recoverable". A save
+//! that fails is never acked; [`save_with_healing`] classifies the
+//! failure — retry transient EIO with capped backoff, degrade to typed
+//! read-only on persistent ENOSPC, refuse otherwise.
 
-use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use srbsg_pcm::{LineData, Ns, PcmBank};
-use srbsg_persist::{crc64, decode_line_data, encode_line_data, Dec, Enc, PersistError, Store};
+use srbsg_persist::{
+    crc64, decode_line_data, encode_line_data, Dec, DirMedia, Enc, Media, MediaError, PersistError,
+    Store,
+};
 
 const MAGIC: u64 = 0x5342_5347_5348_4C46; // "SBSGSHLF"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+
+/// The two state copies on the medium (dual-slot rot tolerance).
+pub const SHELF_SLOTS: [&str; 2] = ["state.a", "state.b"];
+
+const SHELF_TMPS: [&str; 2] = ["state.a.tmp", "state.b.tmp"];
 
 /// Durable image of one bank: its persistence store plus the PCM array
 /// contents the store's journal refers to.
@@ -148,6 +168,12 @@ impl BankShelf {
 /// Durable image of the whole server device.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShelfState {
+    /// Monotonic save counter. Both slots carry the same `save_seq` after
+    /// a complete save; after a crash between the two slot renames they
+    /// differ by one, and load picks the newest valid copy. Acknowledged
+    /// writes are always covered by the *older* of the two (acks go out
+    /// only after both slots land), so either choice loses nothing acked.
+    pub save_seq: u64,
     /// Restart generation: 0 for a fresh store, +1 per recovery. Feeds
     /// the re-key seed so every power session maps differently.
     pub generation: u64,
@@ -166,6 +192,7 @@ impl ShelfState {
         let mut enc = Enc::new();
         enc.u64(MAGIC);
         enc.u32(VERSION);
+        enc.u64(self.save_seq);
         enc.u64(self.generation);
         enc.u64(self.seed);
         enc.u64((self.now_ns >> 64) as u64);
@@ -197,6 +224,7 @@ impl ShelfState {
         if dec.u32()? != VERSION {
             return Err(PersistError::Corrupt("unsupported shelf version"));
         }
+        let save_seq = dec.u64()?;
         let generation = dec.u64()?;
         let seed = dec.u64()?;
         let now_hi = dec.u64()?;
@@ -212,6 +240,7 @@ impl ShelfState {
         }
         dec.finish()?;
         Ok(Self {
+            save_seq,
             generation,
             seed,
             now_ns: ((now_hi as Ns) << 64) | now_lo as Ns,
@@ -221,28 +250,105 @@ impl ShelfState {
     }
 }
 
-/// Handle on a data directory holding the state file.
-#[derive(Debug, Clone)]
+/// Why a shelf operation failed — typed, so the boot path and the
+/// operator log can distinguish a failing medium from a corrupt or
+/// truncated state image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShelfError {
+    /// The medium itself failed (see the typed [`MediaError`]).
+    Media(MediaError),
+    /// Both state copies are present but neither decodes; the error is
+    /// the primary slot's, distinguishing corruption from truncation.
+    Decode(PersistError),
+}
+
+impl core::fmt::Display for ShelfError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ShelfError::Media(e) => write!(f, "shelf medium failed: {e}"),
+            ShelfError::Decode(e) => write!(f, "no usable shelf state copy: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShelfError {}
+
+impl From<ShelfError> for io::Error {
+    fn from(e: ShelfError) -> Self {
+        match e {
+            ShelfError::Media(m) => m.into(),
+            ShelfError::Decode(_) => io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        }
+    }
+}
+
+/// What [`DiskShelf::load`]'s scrub found and repaired.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShelfScrub {
+    /// Index into [`SHELF_SLOTS`] of a damaged copy rewritten from the
+    /// surviving one.
+    pub healed_slot: Option<usize>,
+    /// Why the healed copy was unusable — [`PersistError::Truncated`] for
+    /// a torn file, [`PersistError::Corrupt`] for rot.
+    pub damage: Option<PersistError>,
+    /// Stale temporaries (from a save that died between create and
+    /// rename) removed on open.
+    pub stale_tmps_removed: u32,
+}
+
+impl ShelfScrub {
+    /// Whether the scrub changed anything on the medium.
+    pub fn healed(&self) -> bool {
+        self.healed_slot.is_some() || self.stale_tmps_removed > 0
+    }
+}
+
+/// Handle on the medium holding the server's durable state.
+#[derive(Debug)]
 pub struct DiskShelf {
+    media: Box<dyn Media>,
     dir: PathBuf,
-    fsync: bool,
 }
 
 impl DiskShelf {
-    /// Open (creating if needed) the data directory at `dir`. With
-    /// `fsync`, every save is flushed through the page cache — needed to
-    /// survive power loss, not needed to survive process kills.
+    /// Open (creating if needed) the data directory at `dir` as the
+    /// backing medium. With `fsync`, every save is flushed through the
+    /// page cache — needed to survive power loss, not needed to survive
+    /// process kills. Stale temporaries left by a save that died between
+    /// create and rename are removed here.
     pub fn open(dir: &Path, fsync: bool) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        Ok(Self {
+        let media = DirMedia::open(dir, fsync)?;
+        let mut shelf = Self {
+            media: Box::new(media),
             dir: dir.to_path_buf(),
-            fsync,
-        })
+        };
+        shelf.sweep_tmps().map_err(io::Error::from)?;
+        Ok(shelf)
     }
 
-    /// The state file path.
-    pub fn state_path(&self) -> PathBuf {
-        self.dir.join("state.bin")
+    /// Shelve onto an arbitrary medium (in-memory default, fault
+    /// injection). Sidecar paths resolve against the current directory.
+    pub fn with_media(media: Box<dyn Media>) -> Self {
+        let mut shelf = Self {
+            media,
+            dir: PathBuf::new(),
+        };
+        // Media errors here surface on the first save/load instead.
+        let _ = shelf.sweep_tmps();
+        shelf
+    }
+
+    /// Remove stale `*.tmp` files (a save that died between create and
+    /// rename leaves one; it must never shadow or outlive real state).
+    fn sweep_tmps(&mut self) -> Result<u32, MediaError> {
+        let mut removed = 0;
+        for name in self.media.list()? {
+            if name.ends_with(".tmp") {
+                self.media.remove(&name)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 
     /// Path of a small sidecar file (endpoint advertisement, pid file).
@@ -250,38 +356,146 @@ impl DiskShelf {
         self.dir.join(name)
     }
 
-    /// Atomically replace the state file with `state`.
-    pub fn save(&self, state: &ShelfState) -> io::Result<()> {
+    /// Replace both state copies with `state` and barrier.
+    ///
+    /// Protocol, per slot: write the temporary, barrier (the data must be
+    /// durable before the commit), rename onto the slot. After both
+    /// slots: **two** barriers — the doubled commit barrier means a
+    /// single lying fsync can never leave a reported-durable save
+    /// unflushed, because at least one honest barrier always runs after
+    /// the last mutation. Any error aborts the save; the caller must not
+    /// acknowledge the writes it covers (see [`save_with_healing`]).
+    pub fn save(&mut self, state: &ShelfState) -> Result<(), MediaError> {
         let bytes = state.encode();
-        let tmp = self.dir.join("state.tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            io::Write::write_all(&mut f, &bytes)?;
-            if self.fsync {
-                f.sync_all()?;
-            }
+        for (slot, tmp) in SHELF_SLOTS.iter().zip(SHELF_TMPS) {
+            self.media.write(tmp, &bytes)?;
+            self.media.sync()?;
+            self.media.rename(tmp, slot)?;
         }
-        fs::rename(&tmp, self.state_path())?;
-        if self.fsync {
-            // Persist the rename itself.
-            if let Ok(d) = fs::File::open(&self.dir) {
-                let _ = d.sync_all();
-            }
-        }
+        self.media.sync()?;
+        self.media.sync()?;
         Ok(())
     }
 
-    /// Load the state file: `Ok(None)` when absent (fresh start),
-    /// `Err` when present but unreadable or corrupt.
-    pub fn load(&self) -> io::Result<Option<ShelfState>> {
-        let bytes = match fs::read(self.state_path()) {
-            Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
+    /// Load the newest valid state copy, scrubbing on the way in:
+    /// `Ok(None)` when the medium holds no state at all (fresh start).
+    ///
+    /// Both copies are CRC-validated. When one is torn or rotten and the
+    /// other survives, the survivor is served and **rewritten over the
+    /// damaged copy** (the heal is made durable before returning, and
+    /// reported in the [`ShelfScrub`] with the typed damage). Only when
+    /// *both* copies fail validation does load refuse, with the typed
+    /// decode error — never a plausible-but-wrong state.
+    pub fn load(&mut self) -> Result<Option<(ShelfState, ShelfScrub)>, ShelfError> {
+        let mut raw = Vec::with_capacity(2);
+        for slot in SHELF_SLOTS {
+            raw.push(self.media.read(slot).map_err(ShelfError::Media)?);
+        }
+        if raw.iter().all(|r| r.is_none()) {
+            return Ok(None);
+        }
+        let decoded: Vec<Result<ShelfState, PersistError>> = raw
+            .iter()
+            .map(|r| match r {
+                None => Err(PersistError::Truncated),
+                Some(bytes) => ShelfState::decode(bytes),
+            })
+            .collect();
+        let best = decoded
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.as_ref().ok().map(|s| (i, s.save_seq)))
+            .max_by_key(|&(i, seq)| (seq, usize::MAX - i));
+        let Some((best_idx, _)) = best else {
+            // Neither copy decodes: report the primary slot's typed error
+            // (corruption vs truncation) so the operator knows which.
+            let err = decoded[0].as_ref().err().copied().unwrap();
+            return Err(ShelfError::Decode(err));
         };
-        ShelfState::decode(&bytes)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+        let state = decoded[best_idx]
+            .as_ref()
+            .expect("best slot decodes")
+            .clone();
+        let mut scrub = ShelfScrub::default();
+        let other = 1 - best_idx;
+        if let Err(damage) = &decoded[other] {
+            // The other copy is torn or rotten: rewrite it from the
+            // survivor so the shelf regains its redundancy, durably.
+            let survivor = raw[best_idx].as_ref().unwrap().clone();
+            self.media
+                .write(SHELF_SLOTS[other], &survivor)
+                .map_err(ShelfError::Media)?;
+            self.media.sync().map_err(ShelfError::Media)?;
+            scrub.healed_slot = Some(other);
+            scrub.damage = Some(*damage);
+        }
+        Ok(Some((state, scrub)))
+    }
+}
+
+/// How [`save_with_healing`] retries transient media errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included).
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Whether to actually sleep between attempts. The live engine
+    /// sleeps; deterministic harnesses set `false`.
+    pub sleep: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            sleep: true,
+        }
+    }
+}
+
+/// How a healed save ended — the engine's durability decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveOutcome {
+    /// The state is durable (both copies, barriered); acks may go out.
+    /// `attempts > 1` means transient errors were retried away.
+    Saved {
+        /// Attempts used, first try included.
+        attempts: u32,
+    },
+    /// The medium is persistently out of space: the state did **not**
+    /// land, retries are pointless, and the tier must degrade to typed
+    /// read-only shedding — never acknowledge, never die.
+    ReadOnly(MediaError),
+    /// A non-retryable failure (or retries exhausted): the state did not
+    /// land and the engine must refuse the acks and shut down.
+    Failed(MediaError),
+}
+
+/// Save with self-healing: retry transient EIO with capped exponential
+/// backoff, classify persistent ENOSPC as [`SaveOutcome::ReadOnly`], and
+/// report everything else as [`SaveOutcome::Failed`]. A failed attempt may
+/// have partially updated the medium; retries simply re-run the whole
+/// idempotent save protocol.
+pub fn save_with_healing(
+    shelf: &mut DiskShelf,
+    state: &ShelfState,
+    policy: &RetryPolicy,
+) -> SaveOutcome {
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match shelf.save(state) {
+            Ok(()) => return SaveOutcome::Saved { attempts },
+            Err(e) if e.is_no_space() => return SaveOutcome::ReadOnly(e),
+            Err(e) if e.is_transient() && attempts < policy.max_attempts => {
+                if policy.sleep {
+                    std::thread::sleep(policy.base_backoff * (1 << (attempts - 1).min(8)));
+                }
+            }
+            Err(e) => return SaveOutcome::Failed(e),
+        }
     }
 }
 
@@ -289,6 +503,8 @@ impl DiskShelf {
 mod tests {
     use super::*;
     use srbsg_pcm::TimingModel;
+    use srbsg_persist::{FaultKind, FaultPlan, FaultyMedia, MemMedia, SharedMedia};
+    use std::fs;
 
     fn sample_state() -> ShelfState {
         let mut bank = PcmBank::new(16, 1_000_000, TimingModel::PAPER);
@@ -302,6 +518,7 @@ mod tests {
             journal: vec![4, 5, 6, 7],
         };
         ShelfState {
+            save_seq: 1,
             generation: 3,
             seed: 0xABCD,
             now_ns: (7 << 64) | 42,
@@ -310,45 +527,288 @@ mod tests {
         }
     }
 
+    /// A shelf over a shared in-memory medium, plus the control handle.
+    fn mem_shelf() -> (DiskShelf, SharedMedia<FaultyMedia<MemMedia>>) {
+        let handle = SharedMedia::new(FaultyMedia::new(MemMedia::new()));
+        (DiskShelf::with_media(Box::new(handle.clone())), handle)
+    }
+
     #[test]
     fn shelf_roundtrip_through_disk() {
         let dir = std::env::temp_dir().join(format!("srbsg_shelf_{}", std::process::id()));
-        let shelf = DiskShelf::open(&dir, false).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        let mut shelf = DiskShelf::open(&dir, false).unwrap();
         assert_eq!(shelf.load().unwrap(), None);
         let state = sample_state();
         shelf.save(&state).unwrap();
-        assert_eq!(shelf.load().unwrap(), Some(state.clone()));
+        let (back, scrub) = shelf.load().unwrap().unwrap();
+        assert_eq!(back, state);
+        assert!(!scrub.healed());
+        // Both copies are on disk and identical.
+        for slot in SHELF_SLOTS {
+            assert!(dir.join(slot).exists(), "{slot} missing");
+        }
         // Saving again replaces atomically.
         let mut state2 = state;
+        state2.save_seq += 1;
         state2.generation += 1;
         shelf.save(&state2).unwrap();
-        assert_eq!(shelf.load().unwrap().unwrap().generation, 4);
+        assert_eq!(shelf.load().unwrap().unwrap().0.generation, 4);
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_state_file_is_a_typed_load_error() {
-        let dir = std::env::temp_dir().join(format!("srbsg_shelf_bad_{}", std::process::id()));
-        let shelf = DiskShelf::open(&dir, false).unwrap();
-        shelf.save(&sample_state()).unwrap();
-        let mut bytes = fs::read(shelf.state_path()).unwrap();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x40;
-        fs::write(shelf.state_path(), &bytes).unwrap();
-        let err = shelf.load().unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    fn open_sweeps_stale_tmps() {
+        let dir = std::env::temp_dir().join(format!("srbsg_shelf_tmp_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        {
+            let mut shelf = DiskShelf::open(&dir, false).unwrap();
+            shelf.save(&sample_state()).unwrap();
+        }
+        // A save that died between create and rename leaves a temporary.
+        fs::write(dir.join("state.a.tmp"), b"half a save").unwrap();
+        let mut shelf = DiskShelf::open(&dir, false).unwrap();
+        assert!(
+            !dir.join("state.a.tmp").exists(),
+            "stale tmp must be removed on open"
+        );
+        // And the real state is untouched.
+        assert_eq!(shelf.load().unwrap().unwrap().0, sample_state());
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn truncated_state_file_is_rejected() {
-        let dir = std::env::temp_dir().join(format!("srbsg_shelf_trunc_{}", std::process::id()));
-        let shelf = DiskShelf::open(&dir, false).unwrap();
-        shelf.save(&sample_state()).unwrap();
-        let bytes = fs::read(shelf.state_path()).unwrap();
-        fs::write(shelf.state_path(), &bytes[..bytes.len() - 3]).unwrap();
-        assert!(shelf.load().is_err());
-        let _ = fs::remove_dir_all(&dir);
+    fn one_rotten_copy_heals_from_the_survivor() {
+        let (mut shelf, handle) = mem_shelf();
+        let state = sample_state();
+        shelf.save(&state).unwrap();
+        handle.with(|m| {
+            m.inner_mut().rot_durable(SHELF_SLOTS[0], 0xBAD, 4);
+            m.power_cut();
+        });
+        let (back, scrub) = shelf.load().unwrap().unwrap();
+        assert_eq!(back, state, "survivor copy must serve the exact state");
+        assert_eq!(scrub.healed_slot, Some(0));
+        assert!(matches!(scrub.damage, Some(PersistError::Corrupt(_))));
+        // The heal is durable: after another power cut both copies decode.
+        handle.with(|m| m.power_cut());
+        let (again, scrub2) = shelf.load().unwrap().unwrap();
+        assert_eq!(again, state);
+        assert!(!scrub2.healed());
+    }
+
+    #[test]
+    fn zero_length_and_every_prefix_truncation_are_survivable_or_typed() {
+        let (mut shelf, handle) = mem_shelf();
+        let state = sample_state();
+        shelf.save(&state).unwrap();
+        let full = handle.with(|m| m.read(SHELF_SLOTS[0]).unwrap().unwrap());
+
+        // One copy truncated at every prefix length (zero-length
+        // included): load serves the survivor and heals, at every cut.
+        for cut in 0..full.len() {
+            handle.with(|m| {
+                m.write(SHELF_SLOTS[0], &full[..cut]).unwrap();
+                m.sync().unwrap();
+            });
+            let (back, scrub) = shelf
+                .load()
+                .unwrap_or_else(|e| panic!("cut {cut}: {e}"))
+                .unwrap();
+            assert_eq!(back, state, "cut {cut} served wrong state");
+            assert_eq!(scrub.healed_slot, Some(0), "cut {cut} did not heal");
+            assert!(scrub.damage.is_some());
+        }
+
+        // Both copies truncated: a typed refusal, never a wrong state and
+        // never a panic — at every cut.
+        for cut in 0..full.len() {
+            handle.with(|m| {
+                for slot in SHELF_SLOTS {
+                    m.write(slot, &full[..cut]).unwrap();
+                }
+                m.sync().unwrap();
+            });
+            match shelf.load() {
+                Err(ShelfError::Decode(e)) => {
+                    assert!(
+                        matches!(e, PersistError::Truncated | PersistError::Corrupt(_)),
+                        "cut {cut}: unexpected {e:?}"
+                    );
+                }
+                other => panic!("cut {cut}: expected typed decode error, got {other:?}"),
+            }
+        }
+
+        // Zero-length is typed as truncation, distinguishable from rot.
+        handle.with(|m| {
+            for slot in SHELF_SLOTS {
+                m.write(slot, b"").unwrap();
+            }
+            m.sync().unwrap();
+        });
+        assert_eq!(
+            shelf.load(),
+            Err(ShelfError::Decode(PersistError::Truncated))
+        );
+    }
+
+    #[test]
+    fn load_picks_the_newest_valid_copy_after_a_mid_save_crash() {
+        let (mut shelf, handle) = mem_shelf();
+        let mut state = sample_state();
+        shelf.save(&state).unwrap();
+        // Simulate a crash between the two slot renames: slot a carries
+        // seq+1, slot b still carries seq.
+        state.save_seq += 1;
+        state.acked_writes += 10;
+        let newer = state.encode();
+        handle.with(|m| {
+            m.write(SHELF_SLOTS[0], &newer).unwrap();
+            m.sync().unwrap();
+        });
+        let (back, _) = shelf.load().unwrap().unwrap();
+        assert_eq!(back.save_seq, state.save_seq);
+        assert_eq!(back.acked_writes, state.acked_writes);
+    }
+
+    #[test]
+    fn a_lying_fsync_cannot_beat_the_doubled_barrier() {
+        // Arm the lie at every sync index a save performs; in each case
+        // the save that returned Ok must survive the power cut.
+        for lie_at in 1..=6u64 {
+            let (mut shelf, handle) = mem_shelf();
+            let mut state = sample_state();
+            state.save_seq = 1;
+            shelf.save(&state).unwrap(); // syncs 1..=4
+            handle.with(|m| m.set_plan(FaultPlan::new(FaultKind::SyncLie, 4 + lie_at)));
+            state.save_seq = 2;
+            state.acked_writes += 1;
+            shelf.save(&state).unwrap(); // syncs 5..=8, one may lie
+            handle.with(|m| m.power_cut());
+            let (back, _) = shelf
+                .load()
+                .unwrap_or_else(|e| panic!("lie at +{lie_at}: {e}"))
+                .unwrap();
+            assert_eq!(
+                back, state,
+                "lie at +{lie_at}: a reported-durable save was lost"
+            );
+        }
+    }
+
+    #[test]
+    fn save_with_healing_retries_transient_errors_away() {
+        let (mut shelf, handle) = mem_shelf();
+        let state = sample_state();
+        let mut plan = FaultPlan::new(FaultKind::TransientIo, 1);
+        plan.burst = 2;
+        handle.with(|m| m.set_plan(plan));
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            sleep: false,
+            ..RetryPolicy::default()
+        };
+        match save_with_healing(&mut shelf, &state, &policy) {
+            SaveOutcome::Saved { attempts } => assert!(attempts > 1, "must have retried"),
+            other => panic!("expected healed save, got {other:?}"),
+        }
+        assert_eq!(shelf.load().unwrap().unwrap().0, state);
+    }
+
+    #[test]
+    fn save_with_healing_exhausts_retries_into_failed() {
+        let (mut shelf, handle) = mem_shelf();
+        let mut plan = FaultPlan::new(FaultKind::TransientIo, 1);
+        plan.burst = 100;
+        handle.with(|m| m.set_plan(plan));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            sleep: false,
+            ..RetryPolicy::default()
+        };
+        match save_with_healing(&mut shelf, &sample_state(), &policy) {
+            SaveOutcome::Failed(e) => assert!(e.is_transient()),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_with_healing_classifies_enospc_as_read_only() {
+        let (mut shelf, handle) = mem_shelf();
+        let state = sample_state();
+        shelf.save(&state).unwrap();
+        handle.with(|m| m.set_plan(FaultPlan::new(FaultKind::NoSpace, 3)));
+        let policy = RetryPolicy {
+            sleep: false,
+            ..RetryPolicy::default()
+        };
+        let mut state2 = state.clone();
+        state2.save_seq += 1;
+        match save_with_healing(&mut shelf, &state2, &policy) {
+            SaveOutcome::ReadOnly(e) => assert!(e.is_no_space()),
+            other => panic!("expected read-only degradation, got {other:?}"),
+        }
+        // The previous durable state is still fully loadable.
+        handle.with(|m| m.power_cut());
+        assert_eq!(shelf.load().unwrap().unwrap().0, state);
+    }
+
+    #[test]
+    fn rename_failure_fails_the_save_and_the_retry_recovers() {
+        let (mut shelf, handle) = mem_shelf();
+        let state = sample_state();
+        handle.with(|m| m.set_plan(FaultPlan::new(FaultKind::RenameFail, 1)));
+        let policy = RetryPolicy {
+            sleep: false,
+            ..RetryPolicy::default()
+        };
+        match save_with_healing(&mut shelf, &state, &policy) {
+            SaveOutcome::Failed(MediaError::RenameFailed) => {}
+            other => panic!("expected rename failure, got {other:?}"),
+        }
+        // The one-shot fault is gone; a fresh save (post-restart path)
+        // succeeds even with the stale tmp still present.
+        shelf.save(&state).unwrap();
+        assert_eq!(shelf.load().unwrap().unwrap().0, state);
+    }
+
+    /// A medium whose durability barrier always fails — the
+    /// directory-fsync-failure case.
+    #[derive(Debug)]
+    struct SyncAlwaysFails(MemMedia);
+
+    impl Media for SyncAlwaysFails {
+        fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, MediaError> {
+            self.0.read(name)
+        }
+        fn write(&mut self, name: &str, bytes: &[u8]) -> Result<(), MediaError> {
+            self.0.write(name, bytes)
+        }
+        fn rename(&mut self, from: &str, to: &str) -> Result<(), MediaError> {
+            self.0.rename(from, to)
+        }
+        fn remove(&mut self, name: &str) -> Result<(), MediaError> {
+            self.0.remove(name)
+        }
+        fn list(&mut self) -> Result<Vec<String>, MediaError> {
+            self.0.list()
+        }
+        fn sync(&mut self) -> Result<(), MediaError> {
+            Err(MediaError::SyncFailed)
+        }
+    }
+
+    #[test]
+    fn a_failed_durability_barrier_fails_the_save() {
+        // The old shelf discarded directory-sync errors (`let _ =`); a
+        // failed barrier must fail the save so the engine never acks.
+        let mut shelf = DiskShelf::with_media(Box::new(SyncAlwaysFails(MemMedia::new())));
+        assert_eq!(
+            shelf.save(&sample_state()),
+            Err(MediaError::SyncFailed),
+            "a save whose barrier failed must not report success"
+        );
     }
 
     #[test]
