@@ -35,6 +35,7 @@ use crate::Opts;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use srbsg_core::{SecurityRbsg, SecurityRbsgConfig};
+use srbsg_parallel::splitmix64;
 use srbsg_pcm::{LineData, MemoryController, MultiBankSystem, Ns, TimingModel};
 use srbsg_persist::{
     CheckpointPolicy, FaultKind, FaultPlan, FaultyMedia, Journaled, Media, MemMedia, SharedMedia,
@@ -62,14 +63,6 @@ const MODES: [Option<FaultKind>; 7] = [
 
 fn mode_name(kind: Option<FaultKind>) -> &'static str {
     kind.map_or("none", |k| k.name())
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// What one fuzz iteration drew and measured. Contract violations panic

@@ -22,6 +22,7 @@
 
 mod faults;
 mod rbsg;
+mod split;
 mod sr2;
 mod srbsg;
 mod trials;
@@ -29,6 +30,9 @@ mod workload;
 
 pub use faults::{srbsg_raa_degraded_exact, srbsg_raa_degraded_lifetime, DegradationLifetime};
 pub use rbsg::{rbsg_raa_lifetime, rbsg_raa_writes, rbsg_rta_lifetime};
+pub use split::{
+    srbsg_raa_lifetime_split, srbsg_raa_wear_profile_split, srbsg_raa_wear_profile_split_with,
+};
 pub use sr2::{sr2_raa_lifetime, sr2_rta_lifetime};
 pub use srbsg::{
     srbsg_bpa_lifetime, srbsg_bpa_lifetime_analytic, srbsg_raa_lifetime,

@@ -1,0 +1,830 @@
+//! Intra-trial parallelism: one RAA lifetime split across workers by
+//! round-range RNG streams (DESIGN §4g).
+//!
+//! The legacy engine in [`crate::srbsg`] draws every round of a trial
+//! from one sequential `SmallRng`, so round `r` is only reachable by
+//! executing rounds `0..r` — a single lifetime total is serial no matter
+//! how many cores the machine has. This module re-keys the same round
+//! model with a *splittable counter-based* RNG: round `r` of trial
+//! `seed` draws all of its randomness (current-round Feistel network,
+//! flip point, cycle length, park check, and both stay entry slots) from
+//! an independent stream seeded `stream_seed(seed, r)` — the exact
+//! derivation `shard_seed` uses for per-bank streams. Rounds in a range
+//! `[a, b)` are then computable without executing `[0, a)`:
+//!
+//! * the only state a round inherits is the hammered LA's image under
+//!   the *previous* round's keys (`ia_p`), which is itself a pure
+//!   function of stream `r-1` (or of the dedicated init stream for
+//!   round 0) — one extra Feistel network per range, not per round;
+//! * every round's draws happen **up front**, before any deposit, so a
+//!   range that would have failed mid-round consumes exactly the same
+//!   stream positions as one that completes. The legacy engine had to
+//!   document that `deposit_stay` draws its entry slot even on a failed
+//!   bank to keep sinks aligned; here the per-round stream makes that
+//!   alignment structural — failure can never shift a later round's
+//!   randomness, because later rounds own disjoint streams.
+//!
+//! **Lifetime merge semantics.** Workers simulate disjoint round ranges
+//! into private never-failing wear tallies (dense `u64` per-slot hammer
+//! wear + per-region background counts). [`srbsg_parallel::par_fold`]
+//! merges the tallies *in range order* into a cumulative base; because
+//! wear is monotone, the first range whose merged base crosses the
+//! endurance anywhere is exactly the range containing the first failure
+//! — ranges before it can never have crossed at any intermediate write.
+//! The engine then recovers the pre-range baseline (an exact `u64`
+//! subtraction), replays that one range serially with the legacy
+//! failure semantics (lap-quantum deposits, region-peak + background
+//! crossing checks, partial final stay), and stops. The earliest
+//! crossing therefore wins deterministically, and the result is
+//! bit-identical to a serial execution of the same per-round streams for
+//! **any** worker count and any range partition. A shared stop flag lets
+//! workers skip ranges past a found crossing; skipped ranges are ignored
+//! by the in-order fold, so the flag affects wall-clock only.
+//!
+//! **Profile merge semantics.** Wear-distribution sweeps need no failure
+//! detection: each range folds its deposits in closed form into a
+//! private [`WearAccumulator`] (O(points + regions) memory per worker),
+//! and the accumulators merge in range order with exact `u128` sums —
+//! associative and commutative, proptested in `srbsg-pcm`. The round
+//! count for a write target is known a priori (every round contributes
+//! exactly `N·ψ_out` demand writes, parked or not), so the range
+//! partition never depends on simulation results, only on the target.
+//!
+//! The split engine is a *different* (equally valid) sampling of the
+//! same round model as the legacy engine — identical per-round draw
+//! distributions, different stream — so split and legacy lifetimes
+//! agree statistically (cross-validated by tests here and by the
+//! `faults_split.csv` sweep) but not bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use srbsg_feistel::{AddressPermutation, FeistelNetwork};
+use srbsg_parallel::{par_fold, stream_seed};
+use srbsg_pcm::WearAccumulator;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::srbsg::{finish, SrbsgParams, StaySink, StreamSink};
+use crate::{Lifetime, PcmParams};
+
+/// Stream index of the round-0 predecessor network (the constructor draw
+/// of the legacy engine). Round indices are bounded by the endurance
+/// horizon, far below this.
+const INIT_STREAM: u64 = u64::MAX;
+
+/// Ranges per estimated lifetime: the fixed, jobs-independent partition
+/// granularity of one trial. Fine enough to keep workers busy and to
+/// bound the replayed tail, coarse enough that per-range setup (one
+/// dense tally + one predecessor network) stays negligible.
+const RANGES_PER_TRIAL: usize = 96;
+
+/// Everything round `r` draws from its private stream, in draw order.
+/// Computed before any deposit, so stream positions never depend on
+/// failure state (see module docs).
+struct RoundDraws {
+    /// The hammered LA's image under this round's current keys.
+    ia_c: u64,
+    /// Where within the round the LA flips from the previous keys' image
+    /// to the current one.
+    flip: f64,
+    /// Modeled cycle length of the round permutation at the LA.
+    cycle_len: u64,
+    /// Whether the LA heads its migration cycle (writes land in the
+    /// SRAM-backed spare and wear nothing while parked).
+    parked: bool,
+    /// Entry slot of the previous-image stay.
+    entry1: u64,
+    /// Entry slot of the current-image stay.
+    entry2: u64,
+}
+
+fn round_draws(params: &PcmParams, cfg: &SrbsgParams, seed: u64, r: u64) -> RoundDraws {
+    let mut rng = SmallRng::seed_from_u64(stream_seed(seed, r));
+    let enc_c = FeistelNetwork::random(&mut rng, params.width(), cfg.stages);
+    let ia_c = enc_c.encrypt(0);
+    let flip = rng.random_range(0.0..1.0f64);
+    let cycle_len = rng.random_range(1..=params.lines);
+    let parked = rng.random_range(0..cycle_len) == 0;
+    let slots = params.lines / cfg.sub_regions + 1;
+    let entry1 = rng.random_range(0..slots);
+    let entry2 = rng.random_range(0..slots);
+    RoundDraws {
+        ia_c,
+        flip,
+        cycle_len,
+        parked,
+        entry1,
+        entry2,
+    }
+}
+
+/// The LA's image under round `r`'s *previous* keys — the one piece of
+/// cross-round state, reconstructible from stream `r-1` alone (or from
+/// the init stream for round 0).
+fn prev_image(params: &PcmParams, cfg: &SrbsgParams, seed: u64, r: u64) -> u64 {
+    if r == 0 {
+        let mut rng = SmallRng::seed_from_u64(stream_seed(seed, INIT_STREAM));
+        FeistelNetwork::random(&mut rng, params.width(), cfg.stages).encrypt(0)
+    } else {
+        round_draws(params, cfg, seed, r - 1).ia_c
+    }
+}
+
+/// The fully determined deposit schedule of one round: two stays plus
+/// parked traffic, mirroring `RaaCore::round` exactly.
+struct RoundPlan {
+    region1: u64,
+    entry1: u64,
+    w1: u64,
+    region2: u64,
+    entry2: u64,
+    w2: u64,
+    parked_writes: u64,
+}
+
+fn round_plan(params: &PcmParams, cfg: &SrbsgParams, ia_p: u64, d: &RoundDraws) -> RoundPlan {
+    let n_r = params.lines / cfg.sub_regions;
+    let round_writes = params.lines * cfg.outer_interval;
+    let mut w1 = (round_writes as f64 * d.flip) as u64;
+    let mut w2 = round_writes - w1;
+    let mut parked_writes = 0;
+    if d.parked {
+        parked_writes = (d.cycle_len * cfg.outer_interval).min(round_writes);
+        let taken1 = w1.min(parked_writes);
+        w1 -= taken1;
+        w2 -= (parked_writes - taken1).min(w2);
+    }
+    RoundPlan {
+        region1: ia_p / n_r,
+        entry1: d.entry1,
+        w1,
+        region2: d.ia_c / n_r,
+        entry2: d.entry2,
+        w2,
+        parked_writes,
+    }
+}
+
+/// A worker's private wear tally for one round range: never-failing
+/// dense `u64` hammer wear per slot plus background laps per region.
+/// `u64` (not the legacy sink's `u32`) because a range can legitimately
+/// overshoot the endurance before the in-order merge decides where the
+/// first crossing actually was.
+struct RangeWear {
+    wear: Vec<u64>,
+    background: Vec<u64>,
+    slots: u64,
+    lap: u64,
+}
+
+impl RangeWear {
+    fn new(params: &PcmParams, cfg: &SrbsgParams) -> Self {
+        let slots = params.lines / cfg.sub_regions + 1;
+        Self {
+            wear: vec![0; (cfg.sub_regions * slots) as usize],
+            background: vec![0; cfg.sub_regions as usize],
+            slots,
+            lap: slots * cfg.inner_interval,
+        }
+    }
+
+    /// Closed-form equivalent of the legacy dense stay without failure
+    /// checks: `f = writes/lap` full laps land on consecutive slots from
+    /// `entry` (each full lap also rewriting one line per slot of the
+    /// region), then the remainder on the next slot.
+    fn stay(&mut self, region: u64, entry: u64, writes: u64) {
+        let base = (region * self.slots) as usize;
+        let f = writes / self.lap;
+        let rem = writes % self.lap;
+        let wraps = f / self.slots;
+        let leftover = f % self.slots;
+        if wraps > 0 {
+            for w in &mut self.wear[base..base + self.slots as usize] {
+                *w += wraps * self.lap;
+            }
+        }
+        for k in 0..leftover {
+            self.wear[base + ((entry + k) % self.slots) as usize] += self.lap;
+        }
+        if rem > 0 {
+            self.wear[base + ((entry + f) % self.slots) as usize] += rem;
+        }
+        self.background[region as usize] += f;
+    }
+}
+
+/// Simulate rounds `[a, b)` into a private tally. Pure in
+/// `(params, cfg, seed, a, b)` — no state from rounds before `a`.
+fn simulate_range(params: &PcmParams, cfg: &SrbsgParams, seed: u64, a: u64, b: u64) -> RangeWear {
+    let mut tally = RangeWear::new(params, cfg);
+    let mut ia_p = prev_image(params, cfg, seed, a);
+    for r in a..b {
+        let d = round_draws(params, cfg, seed, r);
+        let plan = round_plan(params, cfg, ia_p, &d);
+        tally.stay(plan.region1, plan.entry1, plan.w1);
+        tally.stay(plan.region2, plan.entry2, plan.w2);
+        ia_p = d.ia_c;
+    }
+    tally
+}
+
+/// One legacy-exact stay on the cumulative `u64` state: lap-sized
+/// quanta on consecutive slots, background increment per full lap,
+/// region-peak-plus-background crossing check after every quantum, stop
+/// mid-stay on failure. Returns (writes deposited, failed).
+#[allow(clippy::too_many_arguments)]
+fn stay_exact(
+    wear: &mut [u64],
+    background: &mut [u64],
+    region_peak: &mut [u64],
+    slots: u64,
+    lap: u64,
+    endurance: u64,
+    region: u64,
+    entry: u64,
+    mut writes: u64,
+) -> (u64, bool) {
+    let mut slot = entry;
+    let mut deposited = 0u64;
+    let mut failed = false;
+    while writes > 0 && !failed {
+        let deposit = writes.min(lap);
+        let idx = (region * slots + slot) as usize;
+        wear[idx] += deposit;
+        deposited += deposit;
+        let peak = &mut region_peak[region as usize];
+        *peak = (*peak).max(wear[idx]);
+        if deposit == lap {
+            background[region as usize] += 1;
+        }
+        if *peak + background[region as usize] >= endurance {
+            failed = true;
+        }
+        writes -= deposit;
+        slot = (slot + 1) % slots;
+    }
+    (deposited, failed)
+}
+
+/// Replay rounds `[a, b)` on top of the pre-range baseline with exact
+/// failure semantics, returning the total demand writes at first
+/// failure. The caller guarantees the crossing lies inside `[a, b)`
+/// (the merged no-failure state at `b` crosses the endurance), so the
+/// replay always fails.
+fn replay_crossing_range(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    seed: u64,
+    a: u64,
+    b: u64,
+    mut wear: Vec<u64>,
+    mut background: Vec<u64>,
+) -> u128 {
+    let slots = params.lines / cfg.sub_regions + 1;
+    let lap = slots * cfg.inner_interval;
+    let round_writes = params.lines * cfg.outer_interval;
+    let mut region_peak = vec![0u64; cfg.sub_regions as usize];
+    for (i, &w) in wear.iter().enumerate() {
+        let r = i / slots as usize;
+        region_peak[r] = region_peak[r].max(w);
+    }
+    // Every completed round contributes exactly `round_writes` demand
+    // writes (parked traffic replaces the deposits it displaces), so the
+    // prefix total is a closed form.
+    let mut total: u128 = a as u128 * round_writes as u128;
+    let mut ia_p = prev_image(params, cfg, seed, a);
+    let mut failed = false;
+    for r in a..b {
+        if failed {
+            break;
+        }
+        let d = round_draws(params, cfg, seed, r);
+        let plan = round_plan(params, cfg, ia_p, &d);
+        total += plan.parked_writes as u128;
+        let (dep, f) = stay_exact(
+            &mut wear,
+            &mut background,
+            &mut region_peak,
+            slots,
+            lap,
+            params.endurance,
+            plan.region1,
+            plan.entry1,
+            plan.w1,
+        );
+        total += dep as u128;
+        failed |= f;
+        if !failed {
+            let (dep, f) = stay_exact(
+                &mut wear,
+                &mut background,
+                &mut region_peak,
+                slots,
+                lap,
+                params.endurance,
+                plan.region2,
+                plan.entry2,
+                plan.w2,
+            );
+            total += dep as u128;
+            failed |= f;
+        }
+        ia_p = d.ia_c;
+    }
+    assert!(failed, "crossing range [{a},{b}) did not fail on replay");
+    total
+}
+
+/// In-order fold state of the lifetime merge: the cumulative no-failure
+/// wear image plus the first range found to cross the endurance.
+struct LifetimeFold {
+    wear: Vec<u64>,
+    background: Vec<u64>,
+    crossing: Option<(u64, u64)>,
+}
+
+impl LifetimeFold {
+    /// Merge the next range in order. Adds the range tally into the
+    /// cumulative base while scanning for an endurance crossing; on the
+    /// first crossing, subtracts the tally back out (exact in `u64`) so
+    /// the base is the replay baseline, and records the range.
+    fn merge(
+        &mut self,
+        params: &PcmParams,
+        cfg: &SrbsgParams,
+        range: (u64, u64),
+        tally: &RangeWear,
+    ) {
+        if self.crossing.is_some() {
+            return;
+        }
+        let slots = tally.slots as usize;
+        let regions = self.background.len();
+        let mut crossed = false;
+        for region in 0..regions {
+            self.background[region] += tally.background[region];
+            let bg = self.background[region];
+            let base = region * slots;
+            let mut peak = 0u64;
+            for s in 0..slots {
+                let w = &mut self.wear[base + s];
+                *w += tally.wear[base + s];
+                peak = peak.max(*w);
+            }
+            if peak + bg >= params.endurance {
+                crossed = true;
+            }
+        }
+        if crossed {
+            for (w, t) in self.wear.iter_mut().zip(&tally.wear) {
+                *w -= t;
+            }
+            for (b, t) in self.background.iter_mut().zip(&tally.background) {
+                *b -= t;
+            }
+            self.crossing = Some(range);
+        }
+        let _ = cfg;
+    }
+}
+
+/// The fixed, jobs-independent round-range partition width of one trial.
+fn range_rounds(params: &PcmParams, cfg: &SrbsgParams) -> u64 {
+    // The endurance horizon in rounds: the ideal lifetime `N·E` writes at
+    // `N·ψ_out` writes per round. First failures land well inside it.
+    let est_rounds = (params.endurance / cfg.outer_interval).max(1);
+    (est_rounds / RANGES_PER_TRIAL as u64).max(1)
+}
+
+/// RAA lifetime of Security RBSG with one trial fanned over `jobs`
+/// workers (the split-trial counterpart of
+/// [`crate::srbsg_raa_lifetime`]).
+///
+/// Bit-identical for any `jobs >= 1`: the round-range partition depends
+/// only on the parameters, ranges merge in order, and the earliest
+/// endurance crossing is replayed exactly (see module docs). Samples the
+/// same per-round distributions as the legacy engine from a different
+/// (per-round keyed) stream, so the two agree statistically but not
+/// bit-for-bit.
+pub fn srbsg_raa_lifetime_split(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    seed: u64,
+    jobs: usize,
+) -> Lifetime {
+    let per_range = range_rounds(params, cfg);
+    let slots = params.lines / cfg.sub_regions + 1;
+    let mut state = LifetimeFold {
+        wear: vec![0; (cfg.sub_regions * slots) as usize],
+        background: vec![0; cfg.sub_regions as usize],
+        crossing: None,
+    };
+    let mut batch_start = 0u64;
+    let crossing = loop {
+        let ranges: Vec<(u64, u64)> = (0..RANGES_PER_TRIAL as u64)
+            .map(|i| {
+                let a = batch_start + i * per_range;
+                (a, a + per_range)
+            })
+            .collect();
+        // Once the in-order fold finds the crossing, later ranges are
+        // dead weight: workers that observe the flag return a skip
+        // marker instead of simulating. The flag can only be set after
+        // every earlier range has been folded (the fold is strictly
+        // in-order), so a skipped range is always a discarded one — the
+        // output cannot depend on the race.
+        let stop = AtomicBool::new(false);
+        state = par_fold(
+            ranges,
+            jobs,
+            |(a, b)| {
+                if stop.load(Ordering::Relaxed) {
+                    None
+                } else {
+                    Some(((a, b), simulate_range(params, cfg, seed, a, b)))
+                }
+            },
+            state,
+            |mut st, item| {
+                if let Some((range, tally)) = item {
+                    st.merge(params, cfg, range, &tally);
+                    if st.crossing.is_some() {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                st
+            },
+        );
+        if let Some(range) = state.crossing {
+            break range;
+        }
+        batch_start += RANGES_PER_TRIAL as u64 * per_range;
+        assert!(
+            batch_start < (params.endurance / cfg.outer_interval).max(1) * 1000,
+            "split engine found no endurance crossing within 1000 lifetimes"
+        );
+    };
+    let (a, b) = crossing;
+    let total = replay_crossing_range(params, cfg, seed, a, b, state.wear, state.background);
+    finish(params, cfg, total)
+}
+
+/// Streaming wear profile with one write-target fanned over `jobs`
+/// workers (the split-trial counterpart of
+/// [`crate::srbsg_raa_wear_profile`]). See
+/// [`srbsg_raa_wear_profile_split_with`] for the progress-reporting
+/// variant; output is bit-identical for any `jobs >= 1`.
+pub fn srbsg_raa_wear_profile_split(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    total_writes: u128,
+    seed: u64,
+    points: usize,
+    max_regions: u64,
+    jobs: usize,
+) -> WearAccumulator {
+    srbsg_raa_wear_profile_split_with(
+        params,
+        cfg,
+        total_writes,
+        seed,
+        points,
+        max_regions,
+        jobs,
+        |_, _| {},
+    )
+}
+
+/// [`srbsg_raa_wear_profile_split`] with an in-order progress callback:
+/// `progress(rounds_done, rounds_total)` fires on the folding thread
+/// after each range merges, strictly in range order — safe to print
+/// from without interleaving.
+///
+/// The round count is a priori: every round contributes exactly
+/// `N·ψ_out` demand writes (parked or not), so a target of `T` writes
+/// runs `ceil(T / (N·ψ_out))` rounds — the same rounds the legacy
+/// engine's `while total < T` loop executes. Each worker folds its
+/// range's deposits in closed form into a private [`WearAccumulator`],
+/// O(points + max_regions) memory regardless of the line count.
+#[allow(clippy::too_many_arguments)]
+pub fn srbsg_raa_wear_profile_split_with(
+    params: &PcmParams,
+    cfg: &SrbsgParams,
+    total_writes: u128,
+    seed: u64,
+    points: usize,
+    max_regions: u64,
+    jobs: usize,
+    mut progress: impl FnMut(u64, u64),
+) -> WearAccumulator {
+    let slots = params.lines / cfg.sub_regions + 1;
+    let lap = slots * cfg.inner_interval;
+    let lines = cfg.sub_regions * slots;
+    let round_writes = (params.lines * cfg.outer_interval) as u128;
+    let rounds = total_writes.div_ceil(round_writes) as u64;
+    let acc = WearAccumulator::new(lines, points, max_regions);
+    if rounds == 0 {
+        return acc;
+    }
+    // Fixed partition (independent of `jobs`): up to RANGES_PER_TRIAL
+    // equal ranges over the known round count.
+    let n_ranges = rounds.min(RANGES_PER_TRIAL as u64);
+    let ranges: Vec<(u64, u64)> = (0..n_ranges)
+        .map(|i| (rounds * i / n_ranges, rounds * (i + 1) / n_ranges))
+        .collect();
+    par_fold(
+        ranges,
+        jobs,
+        |(a, b)| {
+            let mut sink = StreamSink {
+                acc: WearAccumulator::new(lines, points, max_regions),
+                slots,
+                lap,
+            };
+            let mut ia_p = prev_image(params, cfg, seed, a);
+            for r in a..b {
+                let d = round_draws(params, cfg, seed, r);
+                let plan = round_plan(params, cfg, ia_p, &d);
+                sink.stay(plan.region1, plan.entry1, plan.w1);
+                sink.stay(plan.region2, plan.entry2, plan.w2);
+                ia_p = d.ia_c;
+            }
+            (b, sink.acc)
+        },
+        acc,
+        |mut acc, (done, part)| {
+            acc.merge(&part);
+            progress(done, rounds);
+            acc
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{srbsg_raa_lifetime, srbsg_raa_wear_profile};
+
+    fn small_cfg() -> SrbsgParams {
+        SrbsgParams {
+            sub_regions: 8,
+            inner_interval: 4,
+            outer_interval: 8,
+            stages: 5,
+        }
+    }
+
+    /// Serial reference for the split lifetime: the same per-round
+    /// streams executed from round 0 with exact failure semantics and no
+    /// range partition at all.
+    fn split_lifetime_serial(params: &PcmParams, cfg: &SrbsgParams, seed: u64) -> Lifetime {
+        let slots = params.lines / cfg.sub_regions + 1;
+        let lap = slots * cfg.inner_interval;
+        let mut wear = vec![0u64; (cfg.sub_regions * slots) as usize];
+        let mut background = vec![0u64; cfg.sub_regions as usize];
+        let mut region_peak = vec![0u64; cfg.sub_regions as usize];
+        let mut total: u128 = 0;
+        let mut ia_p = prev_image(params, cfg, seed, 0);
+        let mut r = 0u64;
+        loop {
+            let d = round_draws(params, cfg, seed, r);
+            let plan = round_plan(params, cfg, ia_p, &d);
+            total += plan.parked_writes as u128;
+            let (dep, mut failed) = stay_exact(
+                &mut wear,
+                &mut background,
+                &mut region_peak,
+                slots,
+                lap,
+                params.endurance,
+                plan.region1,
+                plan.entry1,
+                plan.w1,
+            );
+            total += dep as u128;
+            if !failed {
+                let (dep, f) = stay_exact(
+                    &mut wear,
+                    &mut background,
+                    &mut region_peak,
+                    slots,
+                    lap,
+                    params.endurance,
+                    plan.region2,
+                    plan.entry2,
+                    plan.w2,
+                );
+                total += dep as u128;
+                failed = f;
+            }
+            if failed {
+                return finish(params, cfg, total);
+            }
+            ia_p = d.ia_c;
+            r += 1;
+        }
+    }
+
+    #[test]
+    fn closed_form_range_stay_matches_exact_quanta() {
+        let params = PcmParams::small(8, u64::MAX);
+        let cfg = small_cfg();
+        let slots = params.lines / cfg.sub_regions + 1;
+        let lap = slots * cfg.inner_interval;
+        let mut closed = RangeWear::new(&params, &cfg);
+        let mut wear = vec![0u64; closed.wear.len()];
+        let mut background = vec![0u64; cfg.sub_regions as usize];
+        let mut peak = vec![0u64; cfg.sub_regions as usize];
+        for &(region, entry, writes) in &[
+            (0u64, 0u64, 0u64),
+            (0, 3, lap / 2 + 1),
+            (1, slots - 1, 3 * lap),
+            (2, slots - 2, slots * lap + 7),
+            (3, 5, 3 * slots * lap + 2 * lap + 11),
+        ] {
+            closed.stay(region, entry, writes);
+            let (dep, failed) = stay_exact(
+                &mut wear,
+                &mut background,
+                &mut peak,
+                slots,
+                lap,
+                u64::MAX,
+                region,
+                entry,
+                writes,
+            );
+            assert_eq!(dep, writes);
+            assert!(!failed);
+        }
+        assert_eq!(closed.wear, wear);
+        assert_eq!(closed.background, background);
+    }
+
+    #[test]
+    fn split_lifetime_is_identical_for_any_jobs_and_matches_serial() {
+        let params = PcmParams::small(10, 60_000);
+        let cfg = small_cfg();
+        for seed in [1u64, 7, 42] {
+            let serial = split_lifetime_serial(&params, &cfg, seed);
+            for jobs in [1usize, 2, 3, 8] {
+                let split = srbsg_raa_lifetime_split(&params, &cfg, seed, jobs);
+                assert_eq!(split, serial, "seed={seed} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_lifetime_handles_immediate_crossing() {
+        // Endurance so small the very first round fails: the crossing is
+        // in range 0 and the prefix total is zero rounds.
+        let params = PcmParams::small(8, 10);
+        let cfg = small_cfg();
+        let serial = split_lifetime_serial(&params, &cfg, 3);
+        for jobs in [1usize, 4] {
+            assert_eq!(srbsg_raa_lifetime_split(&params, &cfg, 3, jobs), serial);
+        }
+    }
+
+    #[test]
+    fn split_profile_is_identical_for_any_jobs_and_matches_serial() {
+        let params = PcmParams::small(10, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let total = 1u128 << 22;
+        let (points, max_regions) = (20, 256);
+        // Serial reference: one sink over all rounds, no partition.
+        let slots = params.lines / cfg.sub_regions + 1;
+        let round_writes = (params.lines * cfg.outer_interval) as u128;
+        let rounds = total.div_ceil(round_writes) as u64;
+        let mut sink = StreamSink {
+            acc: WearAccumulator::new(cfg.sub_regions * slots, points, max_regions),
+            slots,
+            lap: slots * cfg.inner_interval,
+        };
+        let mut ia_p = prev_image(&params, &cfg, 9, 0);
+        for r in 0..rounds {
+            let d = round_draws(&params, &cfg, 9, r);
+            let plan = round_plan(&params, &cfg, ia_p, &d);
+            sink.stay(plan.region1, plan.entry1, plan.w1);
+            sink.stay(plan.region2, plan.entry2, plan.w2);
+            ia_p = d.ia_c;
+        }
+        let serial = sink.acc;
+        for jobs in [1usize, 2, 4, 8] {
+            let split =
+                srbsg_raa_wear_profile_split(&params, &cfg, total, 9, points, max_regions, jobs);
+            assert_eq!(split, serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn split_profile_progress_is_ordered_and_complete() {
+        let params = PcmParams::small(10, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let mut seen = Vec::new();
+        let acc = srbsg_raa_wear_profile_split_with(
+            &params,
+            &cfg,
+            1u128 << 22,
+            9,
+            20,
+            256,
+            4,
+            |done, total| seen.push((done, total)),
+        );
+        assert!(!seen.is_empty());
+        let total = seen[0].1;
+        assert!(
+            seen.windows(2).all(|w| w[0].0 < w[1].0),
+            "ordered: {seen:?}"
+        );
+        assert_eq!(seen.last().unwrap().0, total, "ends at rounds_total");
+        assert!(acc.total() > 0);
+    }
+
+    #[test]
+    fn zero_target_profile_is_empty() {
+        let params = PcmParams::small(8, u64::MAX);
+        let cfg = small_cfg();
+        let acc = srbsg_raa_wear_profile_split(&params, &cfg, 0, 1, 10, 64, 4);
+        assert_eq!(acc.total(), 0);
+    }
+
+    #[test]
+    fn split_and_legacy_lifetimes_agree_statistically_quick() {
+        // Same round model, different stream: means over a handful of
+        // seeds must land in the same ballpark.
+        let params = PcmParams::small(12, 100_000);
+        let cfg = small_cfg();
+        let n = 8u64;
+        let legacy: f64 = (0..n)
+            .map(|s| srbsg_raa_lifetime(&params, &cfg, s).writes as f64)
+            .sum::<f64>()
+            / n as f64;
+        let split: f64 = (0..n)
+            .map(|s| srbsg_raa_lifetime_split(&params, &cfg, s, 2).writes as f64)
+            .sum::<f64>()
+            / n as f64;
+        let ratio = split / legacy;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "split {split} vs legacy {legacy} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn split_profile_curve_tracks_legacy_curve() {
+        let params = PcmParams::small(12, u64::MAX >> 1);
+        let cfg = small_cfg();
+        let total = 1u128 << 26;
+        let legacy = srbsg_raa_wear_profile(&params, &cfg, total, 5, 20, 256);
+        let split = srbsg_raa_wear_profile_split(&params, &cfg, total, 5, 20, 256, 2);
+        // Parked rounds (a per-stream draw) displace deposited wear, so
+        // totals agree only statistically across the two streams.
+        let (lt, st) = (legacy.total() as f64, split.total() as f64);
+        assert!(
+            ((lt - st) / lt).abs() < 0.05,
+            "deposited totals diverge: legacy {lt} vs split {st}"
+        );
+        let (lc, sc) = (legacy.curve(), split.curve());
+        let max_dev = lc
+            .iter()
+            .zip(&sc)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 0.1, "curves diverge: {max_dev}");
+    }
+
+    /// Acceptance: split-vs-legacy lifetime distributions agree with
+    /// overlapping 95% confidence intervals across >= 64 seeds.
+    #[test]
+    #[ignore = "heavy 64-seed statistical cross-validation; run by the CI heavy-tests step via --ignored"]
+    fn split_and_legacy_cis_overlap_across_64_seeds() {
+        let params = PcmParams::small(14, 500_000);
+        let cfg = SrbsgParams {
+            sub_regions: 64,
+            inner_interval: 16,
+            outer_interval: 32,
+            stages: 7,
+        };
+        let n = 64u64;
+        let ci = |xs: &[f64]| {
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            let half = 1.96 * (var / xs.len() as f64).sqrt();
+            (mean - half, mean + half)
+        };
+        let legacy: Vec<f64> = (0..n)
+            .map(|s| srbsg_raa_lifetime(&params, &cfg, s).writes as f64)
+            .collect();
+        let split: Vec<f64> = (0..n)
+            .map(|s| srbsg_raa_lifetime_split(&params, &cfg, s, 2).writes as f64)
+            .collect();
+        let (ll, lh) = ci(&legacy);
+        let (sl, sh) = ci(&split);
+        assert!(
+            ll <= sh && sl <= lh,
+            "CIs disjoint: legacy [{ll}, {lh}] vs split [{sl}, {sh}]"
+        );
+    }
+}

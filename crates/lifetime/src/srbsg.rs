@@ -43,7 +43,7 @@ impl SrbsgParams {
 /// engine needs; a streaming sink folds the identical write sequence into
 /// a fixed-size [`WearAccumulator`] so paper-scale distribution sweeps
 /// need O(regions) memory per worker instead of O(lines).
-trait StaySink {
+pub(crate) trait StaySink {
     /// Record `writes` hammer writes into `region`, in lap-sized quanta
     /// over consecutive slots starting at slot `entry`. Returns the writes
     /// actually deposited (a failing sink stops mid-stay) and whether the
@@ -120,12 +120,12 @@ impl StaySink for DenseSink {
 /// a [`WearAccumulator`] (O(1) ranges per stay instead of O(writes/lap)
 /// slot increments). Never fails — distribution sweeps accumulate past
 /// any endurance.
-struct StreamSink {
-    acc: WearAccumulator,
+pub(crate) struct StreamSink {
+    pub(crate) acc: WearAccumulator,
     /// Slots per sub-region (`n_r + 1`).
-    slots: u64,
+    pub(crate) slots: u64,
     /// Writes per inner rotation lap (`(n_r+1)·ψ_in`).
-    lap: u64,
+    pub(crate) lap: u64,
 }
 
 impl StaySink for StreamSink {

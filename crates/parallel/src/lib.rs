@@ -19,6 +19,34 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
+/// SplitMix64 finalizer: one full-avalanche keyed draw.
+///
+/// This is the workspace's single shared definition — workload shard
+/// seeding, serve backoff jitter, persist fault scheduling, and the
+/// round-range RAA engine all derive their independent streams from it,
+/// so a stream computed anywhere is reproducible everywhere. Matches the
+/// reference SplitMix64 (`splitmix64(0) == 0xE220_A839_7B1D_CDAF`).
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Independent RNG seed for sub-stream `index` of a run keyed by
+/// `master`.
+///
+/// The index is spread by a wyhash-style odd multiplier before the
+/// SplitMix64 finalizer, so adjacent indices land far apart in seed
+/// space. `srbsg_workloads::shard_seed(master, bank)` is exactly
+/// `stream_seed(master, bank as u64)`, and the split-trial RAA engine
+/// keys round `r` of trial `seed` as `stream_seed(seed, r)`.
+#[inline]
+pub fn stream_seed(master: u64, index: u64) -> u64 {
+    splitmix64(master ^ index.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
 /// Worker count to use when the caller does not specify one: the number
 /// of hardware threads the OS grants this process (1 if unknown).
 pub fn available_jobs() -> usize {
@@ -317,5 +345,30 @@ mod tests {
     #[test]
     fn available_jobs_is_at_least_one() {
         assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        // First outputs of the reference SplitMix64 sequence from seed 0,
+        // plus spot checks; these pin the exact bit stream every derived
+        // seed in the workspace depends on.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+        assert_eq!(splitmix64(42), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(splitmix64(0xDEAD_BEEF), 0x4ADF_B90F_68C9_EB9B);
+        assert_eq!(splitmix64(u64::MAX), 0xE4D9_7177_1B65_2C20);
+    }
+
+    #[test]
+    fn stream_seed_is_pinned_and_collision_free_locally() {
+        assert_eq!(stream_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(stream_seed(42, 1), 0xC549_D6F3_8899_C014);
+        assert_eq!(stream_seed(42, 7), 0x82DB_CC65_DE72_85E0);
+        assert_eq!(stream_seed(1, u64::MAX), 0x9633_3305_2DA7_F39F);
+        assert_eq!(stream_seed(0xFEED, 123_456_789), 0x3372_728D_59E4_2A13);
+        let mut seeds: Vec<u64> = (0..4096).map(|r| stream_seed(7, r)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4096, "per-round seeds must not collide");
     }
 }

@@ -33,6 +33,7 @@
 //! accordingly (e.g. a doubled commit barrier, so no *single* lying fsync
 //! can leave a reported-durable commit unflushed).
 
+use srbsg_parallel::splitmix64;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -398,14 +399,6 @@ impl Media for DirMedia {
         self.dir_dirty = false;
         Ok(())
     }
-}
-
-/// SplitMix64 — the workspace's standard small deterministic mixer.
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// What kind of storage fault a [`FaultPlan`] injects.

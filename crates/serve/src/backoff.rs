@@ -7,16 +7,8 @@
 //! stream, no ordering sensitivity.
 
 use crate::ServeConfig;
+use srbsg_parallel::splitmix64;
 use srbsg_pcm::Ns;
-
-/// One SplitMix64 output for a given state (stateless, keyed draw).
-#[inline]
-fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// Backoff interval before front-end retry number `retry` (1-based) of
 /// request `id`.

@@ -12,16 +12,14 @@ use crate::{SequentialTrace, StridedTrace, TraceGenerator, UniformTrace, ZipfTra
 
 /// SplitMix64 finalizer: a full-avalanche keyed draw, so per-bank seeds
 /// derived from one master seed are statistically independent streams.
-pub fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Re-exported from the workspace's shared definition in `srbsg-parallel`.
+pub use srbsg_parallel::splitmix64;
 
 /// Independent RNG seed for `bank`'s shard of a run keyed by `master`.
+/// Same derivation as [`srbsg_parallel::stream_seed`] — the split-trial
+/// RAA engine keys its per-round streams with the identical formula.
 pub fn shard_seed(master: u64, bank: usize) -> u64 {
-    splitmix64(master ^ (bank as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+    srbsg_parallel::stream_seed(master, bank as u64)
 }
 
 /// Declarative description of a workload, buildable per shard: the CLI
@@ -133,6 +131,17 @@ mod tests {
         assert_eq!(dedup.len(), seeds.len(), "per-bank seeds must differ");
         assert_eq!(shard_seed(42, 0), shard_seed(42, 0), "stable");
         assert_ne!(shard_seed(42, 0), shard_seed(43, 0), "master matters");
+    }
+
+    #[test]
+    fn shard_seed_stream_is_unchanged_by_the_shared_home() {
+        // Values recorded before `splitmix64`/`shard_seed` moved to
+        // `srbsg-parallel`: any drift here would silently re-seed every
+        // sharded run in the workspace.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(shard_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(shard_seed(42, 1), 0xC549_D6F3_8899_C014);
+        assert_eq!(shard_seed(42, 7), 0x82DB_CC65_DE72_85E0);
     }
 
     #[test]
